@@ -1,0 +1,177 @@
+package polarstar_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"polarstar"
+)
+
+// TestFacadeQuickstart exercises the documented public-API flow.
+func TestFacadeQuickstart(t *testing.T) {
+	ps, err := polarstar.New(5, 4, polarstar.IQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Radix() != 10 || ps.G.N() != 310 {
+		t.Fatalf("unexpected instance: radix %d n %d", ps.Radix(), ps.G.N())
+	}
+	stats := ps.G.AllPairsStats()
+	if !stats.Connected || stats.Diameter > 3 {
+		t.Fatalf("diameter guarantee violated: %+v", stats)
+	}
+	router := polarstar.NewMinRouter(ps)
+	rng := polarstar.RandomSource(1)
+	for i := 0; i < 100; i++ {
+		src, dst := rng.Intn(ps.G.N()), rng.Intn(ps.G.N())
+		path := router.Route(src, dst, rng)
+		if src != dst && !polarstar.ValidPath(ps.G, path) {
+			t.Fatalf("invalid path %v", path)
+		}
+	}
+}
+
+func TestFacadeInfeasibleParams(t *testing.T) {
+	if _, err := polarstar.New(6, 3, polarstar.IQ); err == nil {
+		t.Error("q=6 should fail (not a prime power)")
+	}
+	if _, err := polarstar.New(5, 5, polarstar.IQ); err == nil {
+		t.Error("d'=5 should fail for IQ")
+	}
+	if polarstar.Order(6, 3, polarstar.IQ) != 0 {
+		t.Error("infeasible order should be 0")
+	}
+}
+
+func TestFacadeScaleAnalysis(t *testing.T) {
+	if polarstar.MooreBound(15, 3) != 3166 {
+		t.Error("Moore bound wrong through facade")
+	}
+	best := polarstar.BestPolarStar(15)
+	if best.Order != 1064 {
+		t.Errorf("BestPolarStar(15) = %+v", best)
+	}
+	if len(polarstar.PolarStarConfigs(15)) < 2 {
+		t.Error("expected multiple configs at radix 15")
+	}
+}
+
+func TestFacadeGraphBuilder(t *testing.T) {
+	b := polarstar.NewGraphBuilder("demo", 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.Build()
+	if g.Diameter() != 2 {
+		t.Errorf("C4 diameter = %d", g.Diameter())
+	}
+	cut, _ := polarstar.Bisect(g, 1, polarstar.BisectOptions{})
+	if cut != 2 {
+		t.Errorf("C4 bisection = %d, want 2", cut)
+	}
+}
+
+// TestQuickRandomStarProducts: property-based check over random feasible
+// parameters — every constructible PolarStar must be connected with
+// diameter ≤ 3 and max degree ≤ radix.
+func TestQuickRandomStarProducts(t *testing.T) {
+	qs := []int{2, 3, 4, 5, 7}
+	prop := func(qi, di, ki uint8) bool {
+		q := qs[int(qi)%len(qs)]
+		kind := []polarstar.SupernodeKind{polarstar.IQ, polarstar.Paley, polarstar.BDF}[int(ki)%3]
+		var dPrime int
+		switch kind {
+		case polarstar.IQ:
+			dPrime = []int{0, 3, 4, 7}[int(di)%4]
+		case polarstar.Paley:
+			dPrime = []int{2, 4, 6}[int(di)%3]
+		default:
+			dPrime = 1 + int(di)%6
+		}
+		ps, err := polarstar.New(q, dPrime, kind)
+		if err != nil {
+			return false
+		}
+		stats := ps.G.AllPairsStats()
+		return stats.Connected && stats.Diameter <= 3 && ps.G.MaxDegree() <= ps.Radix()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeSimSmoke(t *testing.T) {
+	spec, err := polarstar.NewSpec("ps-iq-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := polarstar.DefaultSimParams(1)
+	p.Warmup, p.Measure, p.Drain = 200, 400, 1000
+	res, err := polarstar.Sweep(spec, polarstar.MINRouting, "uniform", []float64{0.1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].DeliveredFrac < 0.99 {
+		t.Errorf("delivery %.3f", res.Points[0].DeliveredFrac)
+	}
+}
+
+func TestFacadeFaultAndMotif(t *testing.T) {
+	ps := polarstar.MustNew(3, 3, polarstar.IQ)
+	tr := polarstar.FaultTrial(ps.G, nil, 1, []float64{0, 0.2})
+	if !tr.Curve[0].Connected {
+		t.Error("zero-failure network disconnected")
+	}
+	spec, _ := polarstar.NewSpec("ps-iq-small")
+	net := polarstar.NewFlowNetwork(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids,
+		polarstar.DefaultFlowParams(1))
+	if tm := polarstar.RunAllreduce(net, 32, 4096, 1); tm <= 0 {
+		t.Error("allreduce time non-positive")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	ps := polarstar.MustNew(3, 3, polarstar.IQ)
+	// Edge connectivity of a well-connected small PolarStar equals its
+	// minimum degree.
+	if k := polarstar.EdgeConnectivity(ps.G, 0); k != ps.G.MinDegree() {
+		t.Errorf("edge connectivity %d != min degree %d", k, ps.G.MinDegree())
+	}
+	paths := polarstar.EdgeDisjointPaths(ps.G, 0, ps.G.N()-1, 3)
+	if len(paths) != 3 {
+		t.Errorf("disjoint paths = %d, want 3", len(paths))
+	}
+	trees := polarstar.EdgeDisjointSpanningTrees(ps.G, 0, 2, 1)
+	if len(trees) != 2 {
+		t.Errorf("spanning trees = %d, want 2", len(trees))
+	}
+	// Link loads under uniform traffic through the facade.
+	spec, _ := polarstar.NewSpec("ps-iq-small")
+	pattern, err := spec.Pattern("uniform", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := polarstar.ComputeLinkLoads(spec.MinEngine, spec.Config(), pattern, 10, 1)
+	if loads.Max <= 0 || loads.SaturationBound() <= 0 {
+		t.Errorf("degenerate link loads: %+v", loads)
+	}
+	// Fault bands.
+	b := polarstar.RunFaultBands(ps.G, nil, 5, 1, []float64{0, 0.2})
+	if len(b.Median) != 2 {
+		t.Errorf("fault bands curve length %d", len(b.Median))
+	}
+	// Girth through the facade graph type.
+	if g := ps.G.Girth(); g < 3 {
+		t.Errorf("girth = %d", g)
+	}
+	// Collective variants.
+	net := polarstar.NewFlowNetwork(spec.MinEngine, spec.Config(), spec.Graph.N(), nil,
+		polarstar.DefaultFlowParams(1))
+	if tm := polarstar.RunAllreduceRing(net, 16, 4096, 1); tm <= 0 {
+		t.Error("ring allreduce failed")
+	}
+	if tm := polarstar.RunTreeAllreduce(net, trees, 4096, 1); tm <= 0 {
+		t.Error("tree allreduce failed")
+	}
+}

@@ -1,0 +1,14 @@
+package polarstar_test
+
+import (
+	"math/rand"
+
+	"polarstar/internal/route"
+	"polarstar/internal/topo"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func newTableEngine(ps *topo.PolarStar) route.Engine {
+	return route.NewTable(ps.G, route.MultiPath)
+}

@@ -1,0 +1,172 @@
+// psbisect reproduces the bisection study of §11.1 (Figs 12 and 13): the
+// estimated fraction of links crossing the minimum bisection for the
+// largest feasible construction of each topology per radix.
+//
+// Usage:
+//
+//	psbisect -lo 8 -hi 24            # Fig 12 sweep (explicit graphs)
+//	psbisect -fig 13 -lo 8 -hi 24    # PolarStar IQ vs Paley
+//	psbisect -spec ps-iq             # one Table 3 configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polarstar/internal/moore"
+	"polarstar/internal/partition"
+	"polarstar/internal/sim"
+	"polarstar/internal/topo"
+)
+
+func main() {
+	var (
+		lo       = flag.Int("lo", 8, "lowest radix")
+		hi       = flag.Int("hi", 24, "highest radix")
+		fig      = flag.Int("fig", 12, "12 (cross-topology) or 13 (PolarStar IQ vs Paley)")
+		specName = flag.String("spec", "", "bisect a single Table 3 spec instead of sweeping")
+		seed     = flag.Int64("seed", 1, "partitioner seed")
+		maxN     = flag.Int("maxn", 40000, "skip graphs larger than this")
+	)
+	flag.Parse()
+	opts := partition.Options{}
+
+	if *specName != "" {
+		spec, err := sim.NewSpec(*specName)
+		if err != nil {
+			fatal(err)
+		}
+		f := partition.CutFraction(spec.Graph, *seed, opts)
+		fmt.Printf("%s: n=%d m=%d bisection fraction %.3f\n", spec.Name, spec.Graph.N(), spec.Graph.M(), f)
+		return
+	}
+
+	switch *fig {
+	case 12:
+		fmt.Printf("%-6s %-10s %-10s %-10s %-10s %-10s\n", "radix", "polarstar", "bundlefly", "dragonfly", "hyperx", "jellyfish")
+		for r := *lo; r <= *hi; r++ {
+			fmt.Printf("%-6d %-10s %-10s %-10s %-10s %-10s\n", r,
+				frac(buildBestPolarStar(r, *maxN), *seed, opts),
+				frac(buildBestBundlefly(r, *maxN), *seed, opts),
+				frac(buildBestDragonfly(r, *maxN), *seed, opts),
+				frac(buildBestHyperX(r, *maxN), *seed, opts),
+				frac(buildJellyfishLike(r, *maxN, *seed), *seed, opts))
+		}
+	case 13:
+		fmt.Printf("%-6s %-10s %-10s\n", "radix", "ps-iq", "ps-paley")
+		for r := *lo; r <= *hi; r++ {
+			fmt.Printf("%-6d %-10s %-10s\n", r,
+				frac(buildBestPolarStarKind(r, topo.KindIQ, *maxN), *seed, opts),
+				frac(buildBestPolarStarKind(r, topo.KindPaley, *maxN), *seed, opts))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func frac(g *topo.Flat, seed int64, opts partition.Options) string {
+	if g == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", partition.CutFraction(g.G, seed, opts))
+}
+
+func buildBestPolarStar(radix, maxN int) *topo.Flat {
+	cfgs := moore.PolarStarConfigs(radix)
+	for _, c := range cfgs {
+		if int(c.Order) > maxN {
+			continue
+		}
+		ps, err := topo.NewPolarStar(c.Q, c.DPrime, c.Kind)
+		if err == nil {
+			return &topo.Flat{G: ps.G}
+		}
+	}
+	return nil
+}
+
+func buildBestPolarStarKind(radix int, kind topo.SupernodeKind, maxN int) *topo.Flat {
+	for _, c := range moore.PolarStarConfigs(radix) {
+		if c.Kind != kind || int(c.Order) > maxN {
+			continue
+		}
+		ps, err := topo.NewPolarStar(c.Q, c.DPrime, c.Kind)
+		if err == nil {
+			return &topo.Flat{G: ps.G}
+		}
+	}
+	return nil
+}
+
+func buildBestBundlefly(radix, maxN int) *topo.Flat {
+	best := moore.BestBundlefly(radix)
+	if !best.Valid() || int(best.Order) > maxN {
+		return nil
+	}
+	var q, d int
+	if _, err := fmt.Sscanf(best.Config, "q=%d d'=%d", &q, &d); err != nil {
+		return nil
+	}
+	bf, err := topo.NewBundlefly(q, d)
+	if err != nil {
+		return nil
+	}
+	return &topo.Flat{G: bf.G}
+}
+
+func buildBestDragonfly(radix, maxN int) *topo.Flat {
+	best := moore.BestDragonfly(radix)
+	if !best.Valid() || int(best.Order) > maxN {
+		return nil
+	}
+	var a, h int
+	if _, err := fmt.Sscanf(best.Config, "a=%d h=%d", &a, &h); err != nil {
+		return nil
+	}
+	df, err := topo.NewDragonfly(a, h)
+	if err != nil {
+		return nil
+	}
+	return &topo.Flat{G: df.G}
+}
+
+func buildBestHyperX(radix, maxN int) *topo.Flat {
+	best := moore.BestHyperX3D(radix)
+	if !best.Valid() || int(best.Order) > maxN {
+		return nil
+	}
+	var a, b, c int
+	if _, err := fmt.Sscanf(best.Config, "%dx%dx%d", &a, &b, &c); err != nil {
+		return nil
+	}
+	hx, err := topo.NewHyperX(a, b, c)
+	if err != nil {
+		return nil
+	}
+	return &topo.Flat{G: hx.G}
+}
+
+// buildJellyfishLike builds a random regular graph with the same radix
+// and scale as the best PolarStar (the Fig 12 protocol).
+func buildJellyfishLike(radix, maxN int, seed int64) *topo.Flat {
+	best := moore.BestPolarStar(radix)
+	if !best.Valid() || int(best.Order) > maxN {
+		return nil
+	}
+	n := int(best.Order)
+	if n*radix%2 != 0 {
+		n++
+	}
+	g, err := topo.NewJellyfish(n, radix, seed)
+	if err != nil {
+		return nil
+	}
+	return &topo.Flat{G: g}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psbisect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// psfaults reproduces the fault-tolerance experiment of §11.2 (Fig 14):
+// network diameter and average shortest-path length under random link
+// failures, reported for the median-disconnection-ratio trial.
+//
+// Usage:
+//
+//	psfaults -spec ps-iq -trials 100
+//	psfaults -spec df -trials 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polarstar/internal/faults"
+	"polarstar/internal/plot"
+	"polarstar/internal/sim"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "ps-iq", "topology spec (see pssim)")
+		trials   = flag.Int("trials", 100, "random failure scenarios (paper: 100)")
+		seed     = flag.Int64("seed", 1, "seed")
+		svgOut   = flag.String("svg", "", "also write the APL-vs-failures curve as an SVG file")
+	)
+	flag.Parse()
+
+	spec, err := sim.NewSpec(*specName)
+	if err != nil {
+		fatal(err)
+	}
+	var hosts faults.Hosts
+	if spec.Hosts != nil {
+		hosts = spec.Hosts // indirect topologies: endpoint routers only
+	}
+	tr := faults.MedianTrial(spec.Graph, hosts, *trials, *seed, faults.DefaultFracs)
+	fmt.Printf("# %s: %d routers, %d links; median disconnection ratio %.3f (%d trials)\n",
+		spec.Name, spec.Graph.N(), spec.Graph.M(), tr.DisconnectionRatio, *trials)
+	fmt.Printf("%-10s %-10s %-10s %-10s\n", "failfrac", "diameter", "avgpath", "connected")
+	for _, p := range tr.Curve {
+		if p.Connected {
+			fmt.Printf("%-10.2f %-10d %-10.3f %-10v\n", p.FailFrac, p.Diameter, p.AvgPath, p.Connected)
+		} else {
+			fmt.Printf("%-10.2f %-10s %-10s %-10v\n", p.FailFrac, "-", "-", p.Connected)
+		}
+	}
+
+	if *svgOut != "" {
+		chart := &plot.Chart{
+			Title:  fmt.Sprintf("%s under random link failures", spec.Name),
+			XLabel: "fraction of failed links",
+			YLabel: "hops",
+		}
+		var xs, apl, diam []float64
+		for _, p := range tr.Curve {
+			if !p.Connected {
+				break
+			}
+			xs = append(xs, p.FailFrac)
+			apl = append(apl, p.AvgPath)
+			diam = append(diam, float64(p.Diameter))
+		}
+		chart.Add("avg path length", xs, apl)
+		chart.Add("diameter", xs, diam)
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := chart.WriteSVG(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", *svgOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psfaults:", err)
+	os.Exit(1)
+}

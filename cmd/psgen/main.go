@@ -1,0 +1,177 @@
+// psgen generates network topologies and writes them as edge lists.
+//
+// Usage:
+//
+//	psgen -topo polarstar -q 11 -dprime 3 -kind iq            # PolarStar
+//	psgen -topo bundlefly -q 7 -dprime 4 -o bf.edges          # Bundlefly
+//	psgen -topo dragonfly -a 12 -h 6                          # Dragonfly
+//	psgen -topo hyperx -dims 9x9x8                            # 3-D HyperX
+//	psgen -topo er -q 11 | head                               # ER_11 factor
+//	psgen -topo stats -q 11 -dprime 3 -kind iq                # print stats only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"polarstar"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "polarstar", "polarstar|er|iq|paley|bundlefly|mms|dragonfly|hyperx|fattree|megafly|kautz|jellyfish|lps")
+		q        = flag.Int("q", 11, "field order / MMS parameter / LPS q")
+		dPrime   = flag.Int("dprime", 3, "supernode degree")
+		kindName = flag.String("kind", "iq", "supernode kind: iq|paley|bdf|complete")
+		a        = flag.Int("a", 12, "dragonfly/megafly group size")
+		h        = flag.Int("h", 6, "dragonfly global links per router")
+		rho      = flag.Int("rho", 8, "megafly spine global arity")
+		p        = flag.Int("p", 23, "fat-tree half radix / LPS p / jellyfish degree")
+		n        = flag.Int("n", 1064, "jellyfish order / kautz word length")
+		dims     = flag.String("dims", "9x9x8", "hyperx dimensions, e.g. 9x9x8")
+		seed     = flag.Int64("seed", 1, "seed for randomized topologies")
+		out      = flag.String("o", "", "output file (default stdout)")
+		stats    = flag.Bool("stats", false, "print order/degree/diameter instead of edges")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list")
+	)
+	flag.Parse()
+
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := build(*topoName, kind, *q, *dPrime, *a, *h, *rho, *p, *n, *dims, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		s := g.AllPairsStats()
+		girth := g.Girth()
+		fmt.Printf("%s: n=%d m=%d maxdeg=%d diameter=%d avgpath=%.3f girth=%d connected=%v\n",
+			g.Name(), g.N(), g.M(), g.MaxDegree(), s.Diameter, s.AvgPath, girth, s.Connected)
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *dot {
+		if err := g.WriteDOT(w, nil); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := g.WriteEdgeList(w); err != nil {
+		fatal(err)
+	}
+}
+
+func build(name string, kind polarstar.SupernodeKind, q, dPrime, a, h, rho, p, n int, dims string, seed int64) (*polarstar.Graph, error) {
+	switch name {
+	case "polarstar":
+		ps, err := polarstar.New(q, dPrime, kind)
+		if err != nil {
+			return nil, err
+		}
+		return ps.G, nil
+	case "er":
+		er, err := polarstar.NewER(q)
+		if err != nil {
+			return nil, err
+		}
+		return er.G, nil
+	case "iq", "paley", "bdf", "complete":
+		k, _ := parseKind(name)
+		s, err := polarstar.NewSupernode(k, dPrime)
+		if err != nil {
+			return nil, err
+		}
+		return s.G, nil
+	case "bundlefly":
+		bf, err := polarstar.NewBundlefly(q, dPrime)
+		if err != nil {
+			return nil, err
+		}
+		return bf.G, nil
+	case "mms":
+		m, err := polarstar.NewMMS(q)
+		if err != nil {
+			return nil, err
+		}
+		return m.G, nil
+	case "dragonfly":
+		df, err := polarstar.NewDragonfly(a, h)
+		if err != nil {
+			return nil, err
+		}
+		return df.G, nil
+	case "hyperx":
+		var ds []int
+		for _, part := range strings.Split(dims, "x") {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("bad -dims %q: %v", dims, err)
+			}
+			ds = append(ds, v)
+		}
+		hx, err := polarstar.NewHyperX(ds...)
+		if err != nil {
+			return nil, err
+		}
+		return hx.G, nil
+	case "fattree":
+		ft, err := polarstar.NewFatTree(p)
+		if err != nil {
+			return nil, err
+		}
+		return ft.G, nil
+	case "megafly":
+		mf, err := polarstar.NewMegafly(rho, a)
+		if err != nil {
+			return nil, err
+		}
+		return mf.G, nil
+	case "kautz":
+		k, err := polarstar.NewKautz(p, n)
+		if err != nil {
+			return nil, err
+		}
+		return k.G, nil
+	case "jellyfish":
+		return polarstar.NewJellyfish(n, p, seed)
+	case "lps":
+		l, err := polarstar.NewLPS(p, q)
+		if err != nil {
+			return nil, err
+		}
+		return l.G, nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func parseKind(s string) (polarstar.SupernodeKind, error) {
+	switch s {
+	case "iq":
+		return polarstar.IQ, nil
+	case "paley":
+		return polarstar.Paley, nil
+	case "bdf":
+		return polarstar.BDF, nil
+	case "complete":
+		return polarstar.Complete, nil
+	}
+	return 0, fmt.Errorf("unknown supernode kind %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psgen:", err)
+	os.Exit(1)
+}

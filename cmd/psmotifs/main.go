@@ -1,0 +1,69 @@
+// psmotifs reproduces the real-world motif evaluation of §10 (Fig 11):
+// Allreduce and Sweep3D completion times under MIN and adaptive (UGAL)
+// routing on the flow-level simulator.
+//
+// Usage:
+//
+//	psmotifs -motif allreduce -specs ps-iq,df,hx,ft
+//	psmotifs -motif sweep3d -ranks 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"polarstar/internal/flowsim"
+	"polarstar/internal/motifs"
+	"polarstar/internal/sim"
+)
+
+func main() {
+	var (
+		motif    = flag.String("motif", "allreduce", "allreduce|sweep3d")
+		specsArg = flag.String("specs", "ps-iq,df,hx,ft", "comma-separated topology specs")
+		ranks    = flag.Int("ranks", 4096, "participating ranks (allreduce rounds down to 2^k; sweep3d uses a near-square grid)")
+		msgKB    = flag.Float64("msgkb", 64, "message size in KB (paper: 64 for allreduce)")
+		iters    = flag.Int("iters", 10, "iterations (paper: 10)")
+		compute  = flag.Float64("compute", 100, "sweep3d per-cell compute time (ns)")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("%-10s %-14s %-14s %-8s\n", "topology", "MIN (us)", "UGAL (us)", "speedup")
+	for _, name := range strings.Split(*specsArg, ",") {
+		name = strings.TrimSpace(name)
+		spec, err := sim.NewSpec(name)
+		if err != nil {
+			fatal(err)
+		}
+		run := func(adaptive bool) float64 {
+			p := flowsim.DefaultParams(*seed)
+			p.Adaptive = adaptive
+			net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids, p)
+			r := *ranks
+			if r > spec.Endpoints() {
+				r = spec.Endpoints()
+			}
+			switch *motif {
+			case "allreduce":
+				return motifs.Allreduce(net, r, *msgKB*1024, *iters)
+			case "sweep3d":
+				side := int(math.Sqrt(float64(r)))
+				return motifs.Sweep3D(net, side, side, *msgKB*1024, *compute, *iters)
+			}
+			fatal(fmt.Errorf("unknown motif %q", *motif))
+			return 0
+		}
+		min := run(false)
+		ugal := run(true)
+		fmt.Printf("%-10s %-14.1f %-14.1f %-8.2f\n", name, min/1000, ugal/1000, min/ugal)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "psmotifs:", err)
+	os.Exit(1)
+}

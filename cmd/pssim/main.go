@@ -1,0 +1,99 @@
+// pssim runs the synthetic-traffic latency-load experiments of §9
+// (Figs 9 and 10) on the cycle-level simulator.
+//
+// Usage:
+//
+//	pssim -spec ps-iq -routing min -pattern uniform
+//	pssim -spec df -routing ugal -pattern adversarial -loads 0.05,0.1,0.2
+//	pssim -spec bf-small -cycles 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"polarstar/internal/plot"
+	"polarstar/internal/sim"
+)
+
+func main() {
+	var (
+		specName = flag.String("spec", "ps-iq", "topology spec: "+strings.Join(sim.Table3Names, "|")+" (+\"-small\")")
+		routing  = flag.String("routing", "min", "min|ugal")
+		pattern  = flag.String("pattern", "uniform", "uniform|permutation|bitshuffle|bitreverse|adversarial")
+		loadsArg = flag.String("loads", "", "comma-separated offered loads (default standard ladder)")
+		cycles   = flag.Int("cycles", 0, "override measurement cycles (warmup=cycles/2, drain=3*cycles/2)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		svgOut   = flag.String("svg", "", "also write the latency-load curve as an SVG file")
+	)
+	flag.Parse()
+
+	spec, err := sim.NewSpec(*specName)
+	if err != nil {
+		fatal(err)
+	}
+	mode := sim.MIN
+	if *routing == "ugal" {
+		mode = sim.UGALMode
+	} else if *routing != "min" {
+		fatal(fmt.Errorf("unknown routing %q", *routing))
+	}
+	loads := sim.DefaultLoads
+	if *loadsArg != "" {
+		loads = nil
+		for _, part := range strings.Split(*loadsArg, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -loads: %v", err))
+			}
+			loads = append(loads, v)
+		}
+	}
+	params := sim.DefaultParams(*seed)
+	if *cycles > 0 {
+		params.Warmup = *cycles / 2
+		params.Measure = *cycles
+		params.Drain = 3 * *cycles / 2
+	}
+	fmt.Printf("# %s: %d routers, %d endpoints\n", spec.Name, spec.Graph.N(), spec.Endpoints())
+	res, err := sim.Sweep(spec, mode, *pattern, loads, params)
+	if err != nil {
+		fatal(err)
+	}
+	sim.WriteSweep(os.Stdout, res)
+	fmt.Printf("# saturation load: %.3f\n", res.SaturationLoad())
+
+	if *svgOut != "" {
+		chart := &plot.Chart{
+			Title:  fmt.Sprintf("%s %s %s", spec.Name, res.Routing, res.Pattern),
+			XLabel: "offered load (fraction of injection bandwidth)",
+			YLabel: "average packet latency (cycles)",
+		}
+		var xs, ys []float64
+		for _, p := range res.Points {
+			if p.Saturated {
+				break // the latency-load curve ends at saturation
+			}
+			xs = append(xs, p.Load)
+			ys = append(ys, p.AvgLatency)
+		}
+		chart.Add(spec.Name, xs, ys)
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := chart.WriteSVG(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote %s\n", *svgOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Trafficsim: compare PolarStar against Dragonfly under uniform and
+// adversarial traffic on the cycle-level simulator — a miniature version
+// of the Fig 9/10 experiments that runs in seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polarstar"
+)
+
+func main() {
+	loads := []float64{0.1, 0.3, 0.5, 0.7}
+	params := polarstar.DefaultSimParams(1)
+	// Scaled-down windows keep the example snappy.
+	params.Warmup, params.Measure, params.Drain = 1000, 2000, 4000
+
+	for _, specName := range []string{"ps-iq-small", "df-small"} {
+		spec, err := polarstar.NewSpec(specName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s: %d routers, %d endpoints ===\n",
+			spec.Name, spec.Graph.N(), spec.Endpoints())
+		for _, pattern := range []string{"uniform", "adversarial"} {
+			for _, mode := range []polarstar.RoutingMode{polarstar.MINRouting, polarstar.UGALRouting} {
+				res, err := polarstar.Sweep(spec, mode, pattern, loads, params)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %-12s %-5s saturation load: %.2f   latency@0.1: %6.1f cycles\n",
+					pattern, mode, res.SaturationLoad(), res.Points[0].AvgLatency)
+			}
+		}
+	}
+	fmt.Println("\nExpected shape: both sustain uniform traffic well; under the")
+	fmt.Println("adversarial pattern MIN collapses (especially on Dragonfly's")
+	fmt.Println("single global link per group pair) while UGAL recovers much of")
+	fmt.Println("the lost throughput — the §9.6 result.")
+}

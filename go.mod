@@ -1,0 +1,3 @@
+module polarstar
+
+go 1.22

@@ -1,0 +1,209 @@
+// Package faults implements the link-failure resilience experiment of
+// §11.2 (Fig 14): random link removal sweeps measuring network diameter
+// and average shortest-path length as functions of the failure ratio,
+// plus the disconnection ratio (the failure fraction at which the network
+// first disconnects). The paper runs 100 trials and reports the trial
+// with the median disconnection ratio; this package reproduces that
+// protocol with seeded determinism.
+package faults
+
+import (
+	"math/rand"
+	"sort"
+
+	"polarstar/internal/graph"
+)
+
+// Point is one sampled failure fraction of a trial.
+type Point struct {
+	FailFrac  float64
+	Diameter  int32
+	AvgPath   float64
+	Connected bool
+}
+
+// Trial is one random link-failure scenario.
+type Trial struct {
+	Seed               int64
+	DisconnectionRatio float64 // fraction of links removed at first disconnection
+	Curve              []Point
+}
+
+// Hosts restricts distance measurements to a vertex subset (§11.2: for
+// Fat-tree and Megafly only endpoint-holding routers count). Nil means
+// all vertices.
+type Hosts []int
+
+// RunTrial removes links of g in a seed-determined random order,
+// sampling diameter and average path length among hosts at each failure
+// fraction in fracs (which must be ascending). Sampling stops once the
+// host set is disconnected; the disconnection ratio is located exactly by
+// bisection over the removal order.
+func RunTrial(g *graph.Graph, hosts Hosts, seed int64, fracs []float64) Trial {
+	rng := rand.New(rand.NewSource(seed))
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	tr := Trial{Seed: seed}
+	// Exact disconnection point by bisection: the smallest k such that
+	// removing the first k edges disconnects the hosts.
+	lo, hi := 1, len(edges)
+	if subsetConnected(g.RemoveEdges(edges), hosts) {
+		// Removing everything leaves hosts connected only if there is at
+		// most one host.
+		lo = len(edges) + 1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if subsetConnected(g.RemoveEdges(edges[:mid]), hosts) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	disconnectAt := lo
+	tr.DisconnectionRatio = float64(disconnectAt) / float64(len(edges))
+
+	for _, f := range fracs {
+		k := int(f * float64(len(edges)))
+		if k >= disconnectAt {
+			tr.Curve = append(tr.Curve, Point{FailFrac: f, Connected: false})
+			continue
+		}
+		h := g.RemoveEdges(edges[:k])
+		diam, avg, ok := subsetStats(h, hosts)
+		tr.Curve = append(tr.Curve, Point{FailFrac: f, Diameter: diam, AvgPath: avg, Connected: ok})
+	}
+	return tr
+}
+
+// MedianTrial runs `trials` independent scenarios and returns the one
+// with the median disconnection ratio (the paper's reporting protocol).
+func MedianTrial(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) Trial {
+	if trials < 1 {
+		trials = 1
+	}
+	// Rank trials by disconnection ratio (cheap: bisection only), then
+	// compute the full curve for the median one.
+	type ranked struct {
+		seed  int64
+		ratio float64
+	}
+	rs := make([]ranked, trials)
+	for i := 0; i < trials; i++ {
+		s := seed + int64(i)*6151
+		t := RunTrial(g, hosts, s, nil)
+		rs[i] = ranked{seed: s, ratio: t.DisconnectionRatio}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ratio < rs[j].ratio })
+	med := rs[len(rs)/2]
+	return RunTrial(g, hosts, med.seed, fracs)
+}
+
+// subsetConnected reports whether all hosts are in one component.
+func subsetConnected(g *graph.Graph, hosts Hosts) bool {
+	if g.N() == 0 {
+		return true
+	}
+	if hosts == nil {
+		return g.IsConnected()
+	}
+	if len(hosts) == 0 {
+		return true
+	}
+	dist := g.BFSDistances(hosts[0], nil)
+	for _, h := range hosts {
+		if dist[h] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetStats computes diameter and average path length restricted to
+// host pairs.
+func subsetStats(g *graph.Graph, hosts Hosts) (int32, float64, bool) {
+	if hosts == nil {
+		s := g.AllPairsStats()
+		return s.Diameter, s.AvgPath, s.Connected
+	}
+	inHosts := make([]bool, g.N())
+	for _, h := range hosts {
+		inHosts[h] = true
+	}
+	var diam int32
+	var sum, pairs int64
+	connected := true
+	dist := make([]int32, g.N())
+	for _, h := range hosts {
+		g.BFSDistances(h, dist)
+		for v, d := range dist {
+			if !inHosts[v] || v == h {
+				continue
+			}
+			if d < 0 {
+				connected = false
+				continue
+			}
+			if d > diam {
+				diam = d
+			}
+			sum += int64(d)
+			pairs++
+		}
+	}
+	avg := 0.0
+	if pairs > 0 {
+		avg = float64(sum) / float64(pairs)
+	}
+	return diam, avg, connected
+}
+
+// Bands aggregates many trials into quartile curves — an extension of
+// the paper's median-trial protocol showing the spread across failure
+// scenarios.
+type Bands struct {
+	Fracs               []float64
+	P25, Median, P75    []float64 // average path length quartiles (NaN when disconnected in that quartile trial)
+	DisconnectQuartiles [3]float64
+	Trials              int
+}
+
+// RunBands runs `trials` scenarios and reports per-failure-fraction
+// quartiles of the average path length plus disconnection-ratio
+// quartiles.
+func RunBands(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) Bands {
+	if trials < 1 {
+		trials = 1
+	}
+	b := Bands{Fracs: fracs, Trials: trials}
+	apl := make([][]float64, len(fracs)) // per fraction: APLs of connected trials
+	var ratios []float64
+	for i := 0; i < trials; i++ {
+		tr := RunTrial(g, hosts, seed+int64(i)*6151, fracs)
+		ratios = append(ratios, tr.DisconnectionRatio)
+		for j, p := range tr.Curve {
+			if p.Connected {
+				apl[j] = append(apl[j], p.AvgPath)
+			}
+		}
+	}
+	sort.Float64s(ratios)
+	quart := func(xs []float64, q float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		return xs[int(float64(len(xs)-1)*q)]
+	}
+	b.DisconnectQuartiles = [3]float64{quart(ratios, 0.25), quart(ratios, 0.5), quart(ratios, 0.75)}
+	for _, xs := range apl {
+		sort.Float64s(xs)
+		b.P25 = append(b.P25, quart(xs, 0.25))
+		b.Median = append(b.Median, quart(xs, 0.5))
+		b.P75 = append(b.P75, quart(xs, 0.75))
+	}
+	return b
+}
+
+// DefaultFracs is the failure-ratio ladder of Fig 14.
+var DefaultFracs = []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65}

@@ -1,0 +1,133 @@
+package faults
+
+import (
+	"testing"
+
+	"polarstar/internal/graph"
+	"polarstar/internal/topo"
+)
+
+func TestRunTrialOnPolarStar(t *testing.T) {
+	ps := topo.MustNewPolarStar(4, 3, topo.KindIQ)
+	tr := RunTrial(ps.G, nil, 1, []float64{0, 0.1, 0.3})
+	if len(tr.Curve) != 3 {
+		t.Fatalf("curve length %d", len(tr.Curve))
+	}
+	p0 := tr.Curve[0]
+	if !p0.Connected || p0.Diameter != 3 {
+		t.Errorf("zero-failure point: %+v, want connected diameter 3", p0)
+	}
+	// Diameter/APL weakly increase with failures while connected.
+	prevD, prevA := p0.Diameter, p0.AvgPath
+	for _, p := range tr.Curve[1:] {
+		if !p.Connected {
+			break
+		}
+		if p.Diameter < prevD {
+			t.Errorf("diameter decreased after failures: %d -> %d", prevD, p.Diameter)
+		}
+		if p.AvgPath < prevA-1e-9 {
+			t.Errorf("avg path decreased after failures: %f -> %f", prevA, p.AvgPath)
+		}
+		prevD, prevA = p.Diameter, p.AvgPath
+	}
+	if tr.DisconnectionRatio <= 0.2 || tr.DisconnectionRatio > 1 {
+		t.Errorf("implausible disconnection ratio %f", tr.DisconnectionRatio)
+	}
+}
+
+func TestDisconnectionRatioExact(t *testing.T) {
+	// A path graph disconnects at the very first removed edge.
+	b := graph.NewBuilder("path", 10)
+	for i := 0; i+1 < 10; i++ {
+		b.AddEdge(i, i+1)
+	}
+	tr := RunTrial(b.Build(), nil, 3, nil)
+	if tr.DisconnectionRatio != 1.0/9.0 {
+		t.Errorf("path disconnection ratio = %f, want 1/9", tr.DisconnectionRatio)
+	}
+}
+
+func TestMedianTrialDeterministic(t *testing.T) {
+	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
+	a := MedianTrial(ps.G, nil, 9, 7, []float64{0, 0.2})
+	b := MedianTrial(ps.G, nil, 9, 7, []float64{0, 0.2})
+	if a.Seed != b.Seed || a.DisconnectionRatio != b.DisconnectionRatio {
+		t.Error("MedianTrial not deterministic")
+	}
+	if len(a.Curve) != 2 {
+		t.Errorf("curve length %d", len(a.Curve))
+	}
+}
+
+func TestHostRestrictedStats(t *testing.T) {
+	// Fat-tree: measure only leaf routers. Zero-failure leaf diameter is
+	// 4 (up to the core and down).
+	ft := topo.MustNewFatTree(4)
+	hosts := Hosts(ft.LeafRouters())
+	tr := RunTrial(ft.G, hosts, 2, []float64{0})
+	if tr.Curve[0].Diameter != 4 {
+		t.Errorf("fat-tree leaf diameter = %d, want 4", tr.Curve[0].Diameter)
+	}
+	if !tr.Curve[0].Connected {
+		t.Error("zero-failure fat-tree disconnected")
+	}
+}
+
+func TestResilienceOrderingDFDiameterGrowsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// §11.2: at low failure ratios Dragonfly's diameter grows quickly
+	// (single global link per group pair), while HyperX stays flat.
+	df := topo.MustNewDragonfly(8, 4)
+	hx := topo.MustNewHyperX(5, 5, 5)
+	fr := []float64{0, 0.1}
+	dfTr := MedianTrial(df.G, nil, 5, 11, fr)
+	hxTr := MedianTrial(hx.G, nil, 5, 11, fr)
+	if dfTr.Curve[1].Diameter <= dfTr.Curve[0].Diameter {
+		t.Errorf("dragonfly diameter did not grow under 10%% failures: %d -> %d",
+			dfTr.Curve[0].Diameter, dfTr.Curve[1].Diameter)
+	}
+	if hxTr.Curve[1].Diameter > hxTr.Curve[0].Diameter+1 {
+		t.Errorf("hyperx diameter grew too fast: %d -> %d",
+			hxTr.Curve[0].Diameter, hxTr.Curve[1].Diameter)
+	}
+}
+
+func TestSingleHostTrivially(t *testing.T) {
+	b := graph.NewBuilder("k3", 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	tr := RunTrial(b.Build(), Hosts{1}, 1, []float64{0.9})
+	if tr.DisconnectionRatio != float64(4)/float64(3) {
+		// A single host never disconnects: the bisection reports
+		// len(edges)+1 removals.
+		t.Errorf("single-host disconnection ratio = %f", tr.DisconnectionRatio)
+	}
+}
+
+func TestRunBands(t *testing.T) {
+	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
+	b := RunBands(ps.G, nil, 9, 3, []float64{0, 0.2, 0.4})
+	if len(b.Median) != 3 {
+		t.Fatalf("median curve length %d", len(b.Median))
+	}
+	for i := range b.Median {
+		if b.P25[i] > b.Median[i] || b.Median[i] > b.P75[i] {
+			t.Errorf("quartiles out of order at %d: %f %f %f", i, b.P25[i], b.Median[i], b.P75[i])
+		}
+	}
+	q := b.DisconnectQuartiles
+	if !(q[0] <= q[1] && q[1] <= q[2]) {
+		t.Errorf("disconnection quartiles out of order: %v", q)
+	}
+	if q[0] <= 0 || q[2] > 1 {
+		t.Errorf("implausible disconnection quartiles: %v", q)
+	}
+	// Zero-failure APL is deterministic: all quartiles equal.
+	if b.P25[0] != b.P75[0] {
+		t.Errorf("zero-failure APL should be identical across trials")
+	}
+}

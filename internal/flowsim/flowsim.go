@@ -1,0 +1,148 @@
+// Package flowsim is the message-level discrete-event simulator behind
+// the real-world motif evaluation (§10): the substitute for SST/Merlin.
+//
+// Messages traverse router paths with pipelined (wormhole-style) link
+// occupancy: each link on the path is busy for size/bandwidth, the head
+// advances with a fixed per-hop latency, and links serve messages in
+// arrival order. The §10 configuration is 4 GB/s links and 20 ns
+// router+link latency per hop.
+package flowsim
+
+import (
+	"math/rand"
+
+	"polarstar/internal/route"
+	"polarstar/internal/traffic"
+)
+
+// Params configures link bandwidth and latency.
+type Params struct {
+	BytesPerNS float64 // link bandwidth (paper: 4 GB/s = 4 bytes/ns)
+	HopLatNS   float64 // per-hop router+link latency (paper: 20 ns)
+	Adaptive   bool    // UGAL-style adaptive path choice
+	Samples    int     // Valiant samples when adaptive (paper: 4)
+	Seed       int64
+}
+
+// DefaultParams mirrors §10.1.
+func DefaultParams(seed int64) Params {
+	return Params{BytesPerNS: 4, HopLatNS: 20, Samples: 4, Seed: seed}
+}
+
+// Network simulates one topology. State (link reservations) persists
+// across Send calls, so callers should issue messages in roughly
+// non-decreasing send-time order (motif rounds do).
+type Network struct {
+	p      Params
+	engine route.Engine
+	mids   []int // Valiant intermediates for adaptive mode (nil: all)
+	n      int   // router count
+	cfg    traffic.Config
+	rng    *rand.Rand
+
+	linkFree map[int64]float64 // directed link (u<<32|v) -> free-at time
+	injFree  []float64         // endpoint injection link
+	ejFree   []float64         // endpoint ejection link
+}
+
+// New builds a network simulator over a routing engine.
+func New(engine route.Engine, cfg traffic.Config, numRouters int, mids []int, p Params) *Network {
+	if p.Samples <= 0 {
+		p.Samples = 4
+	}
+	return &Network{
+		p:        p,
+		engine:   engine,
+		mids:     mids,
+		n:        numRouters,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(p.Seed)),
+		linkFree: make(map[int64]float64),
+		injFree:  make([]float64, cfg.Endpoints()),
+		ejFree:   make([]float64, cfg.Endpoints()),
+	}
+}
+
+// Config returns the endpoint arrangement.
+func (n *Network) Config() traffic.Config { return n.cfg }
+
+func lkey(u, v int) int64 { return int64(u)<<32 | int64(v) }
+
+// pathFor picks the route for a message, adaptively if configured.
+func (n *Network) pathFor(srcR, dstR int) []int {
+	min := n.engine.Route(srcR, dstR, n.rng)
+	if !n.p.Adaptive {
+		return min
+	}
+	score := func(path []int) float64 {
+		if len(path) < 2 {
+			return 0
+		}
+		// First-link availability plus serialized hop latency: the
+		// flow-level analogue of UGAL-L.
+		return n.linkFree[lkey(path[0], path[1])] + float64(len(path)-1)*n.p.HopLatNS
+	}
+	best, bestScore := min, score(min)
+	for s := 0; s < n.p.Samples; s++ {
+		var mid int
+		if n.mids != nil {
+			mid = n.mids[n.rng.Intn(len(n.mids))]
+		} else {
+			mid = n.rng.Intn(n.n)
+		}
+		if mid == srcR || mid == dstR {
+			continue
+		}
+		a := n.engine.Route(srcR, mid, n.rng)
+		b := n.engine.Route(mid, dstR, n.rng)
+		if len(a) == 0 || len(b) == 0 {
+			continue
+		}
+		cand := append(append(make([]int, 0, len(a)+len(b)-1), a...), b[1:]...)
+		if sc := score(cand); sc < bestScore {
+			best, bestScore = cand, sc
+		}
+	}
+	return best
+}
+
+// Send injects a message of the given size from srcEP to dstEP at time
+// `at` (ns) and returns its delivery time.
+func (n *Network) Send(srcEP, dstEP int, bytes float64, at float64) float64 {
+	ser := bytes / n.p.BytesPerNS
+	// Injection link.
+	start := at
+	if f := n.injFree[srcEP]; f > start {
+		start = f
+	}
+	n.injFree[srcEP] = start + ser
+	head := start + n.p.HopLatNS
+
+	srcR, dstR := n.cfg.RouterOf(srcEP), n.cfg.RouterOf(dstEP)
+	if srcR != dstR {
+		for _, hop := range pathPairs(n.pathFor(srcR, dstR)) {
+			k := lkey(hop[0], hop[1])
+			s := head
+			if f := n.linkFree[k]; f > s {
+				s = f
+			}
+			n.linkFree[k] = s + ser
+			head = s + n.p.HopLatNS
+		}
+	}
+	// Ejection link.
+	s := head
+	if f := n.ejFree[dstEP]; f > s {
+		s = f
+	}
+	n.ejFree[dstEP] = s + ser
+	return s + n.p.HopLatNS + ser
+}
+
+func pathPairs(path []int) [][2]int {
+	out := make([][2]int, 0, len(path))
+	for i := 0; i+1 < len(path); i++ {
+		out = append(out, [2]int{path[i], path[i+1]})
+	}
+	return out
+}

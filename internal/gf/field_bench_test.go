@@ -1,0 +1,40 @@
+package gf
+
+import "testing"
+
+func BenchmarkNewField(b *testing.B) {
+	for _, q := range []int{81, 128} {
+		b.Run(fieldName(q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MustNew(q)
+			}
+		})
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	f := MustNew(81)
+	b.ReportAllocs()
+	x := 1
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, 7) | 1
+	}
+	sink = x
+}
+
+func BenchmarkDot3(b *testing.B) {
+	f := MustNew(11)
+	u, v := []int{3, 7, 1}, []int{2, 9, 4}
+	b.ReportAllocs()
+	x := 0
+	for i := 0; i < b.N; i++ {
+		x += f.Dot(u, v)
+	}
+	sink = x
+}
+
+var sink int
+
+func fieldName(q int) string {
+	return map[int]string{81: "GF(81)", 128: "GF(128)"}[q]
+}

@@ -1,0 +1,155 @@
+package gf
+
+// Polynomials over GF(p) are coefficient slices, low degree first.
+// They are the machinery behind extension-field construction and are
+// normalized so the leading coefficient is non-zero (the zero polynomial
+// is the empty slice).
+
+type poly []int
+
+func polyTrim(a poly) poly {
+	for len(a) > 0 && a[len(a)-1] == 0 {
+		a = a[:len(a)-1]
+	}
+	return a
+}
+
+func polyDeg(a poly) int { return len(a) - 1 } // zero poly has degree -1
+
+func polyAdd(a, b poly, p int) poly {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(poly, n)
+	for i := range out {
+		var av, bv int
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		out[i] = (av + bv) % p
+	}
+	return polyTrim(out)
+}
+
+func polyMul(a, b poly, p int) poly {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make(poly, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] = (out[i+j] + av*bv) % p
+		}
+	}
+	return polyTrim(out)
+}
+
+// polyMod returns a mod m over GF(p). m must be non-zero.
+func polyMod(a, m poly, p int) poly {
+	a = append(poly(nil), a...)
+	a = polyTrim(a)
+	dm := polyDeg(m)
+	lcInv := modInverse(m[dm], p)
+	for polyDeg(a) >= dm {
+		da := polyDeg(a)
+		factor := a[da] * lcInv % p
+		shift := da - dm
+		for i, mv := range m {
+			a[i+shift] = ((a[i+shift]-factor*mv)%p + p*p) % p
+		}
+		a = polyTrim(a)
+	}
+	return a
+}
+
+// modInverse returns x^-1 mod p for prime p and x != 0 mod p.
+func modInverse(x, p int) int {
+	x %= p
+	if x < 0 {
+		x += p
+	}
+	// Fermat: x^(p-2) mod p.
+	return modPow(x, p-2, p)
+}
+
+func modPow(base, exp, mod int) int {
+	result := 1
+	base %= mod
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % mod
+		}
+		base = base * base % mod
+		exp >>= 1
+	}
+	return result
+}
+
+// findIrreducible returns a monic irreducible polynomial of degree k over
+// GF(p). For k == 1 it returns x (which is enough to make reduction a no-op
+// for prime fields). The search enumerates monic polynomials in index order,
+// so the result is deterministic.
+func findIrreducible(p, k int) poly {
+	if k == 1 {
+		return poly{0, 1} // x
+	}
+	// Enumerate monic degree-k polynomials: k free coefficients in [0,p).
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= p
+	}
+	for idx := 0; idx < total; idx++ {
+		f := make(poly, k+1)
+		rem := idx
+		for i := 0; i < k; i++ {
+			f[i] = rem % p
+			rem /= p
+		}
+		f[k] = 1
+		if polyIrreducible(f, p) {
+			return f
+		}
+	}
+	panic("gf: no irreducible polynomial found") // unreachable for prime p
+}
+
+// polyIrreducible tests irreducibility of monic f over GF(p) by trial
+// division with all monic polynomials of degree 1..deg(f)/2.
+func polyIrreducible(f poly, p int) bool {
+	df := polyDeg(f)
+	if df <= 0 {
+		return false
+	}
+	if df == 1 {
+		return true
+	}
+	if f[0] == 0 { // divisible by x
+		return false
+	}
+	for d := 1; 2*d <= df; d++ {
+		total := 1
+		for i := 0; i < d; i++ {
+			total *= p
+		}
+		for idx := 0; idx < total; idx++ {
+			g := make(poly, d+1)
+			rem := idx
+			for i := 0; i < d; i++ {
+				g[i] = rem % p
+				rem /= p
+			}
+			g[d] = 1
+			if len(polyMod(f, g, p)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Unreachable is the distance reported for vertex pairs in different
+// components.
+const Unreachable = int32(-1)
+
+// BFSDistances returns the hop distance from src to every vertex, with
+// Unreachable for vertices in other components. If dist is non-nil and has
+// length N it is reused, avoiding an allocation in hot loops.
+func (g *Graph) BFSDistances(src int, dist []int32) []int32 {
+	if dist == nil || len(dist) != g.n {
+		dist = make([]int32, g.n)
+	}
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int32, 0, g.n)
+	dist[src] = 0
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the largest finite distance from src and whether all
+// vertices were reachable.
+func (g *Graph) Eccentricity(src int) (ecc int32, connected bool) {
+	dist := g.BFSDistances(src, nil)
+	connected = true
+	for _, d := range dist {
+		if d == Unreachable {
+			connected = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, connected
+}
+
+// PathStats aggregates the all-pairs shortest-path structure of a graph.
+type PathStats struct {
+	Diameter  int32   // largest finite pairwise distance
+	AvgPath   float64 // mean distance over connected ordered pairs (excl. self)
+	Connected bool    // every pair reachable
+	Pairs     int64   // number of connected ordered pairs counted
+}
+
+// AllPairsStats runs a BFS from every vertex, in parallel, and returns the
+// diameter and average shortest-path length. This is the workhorse behind
+// the diameter-3 verification and the fault-tolerance experiment.
+func (g *Graph) AllPairsStats() PathStats {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > g.n {
+		workers = g.n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type partial struct {
+		diam      int32
+		sum       int64
+		pairs     int64
+		connected bool
+	}
+	results := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := partial{connected: true}
+			dist := make([]int32, g.n)
+			for src := w; src < g.n; src += workers {
+				g.BFSDistances(src, dist)
+				for v, d := range dist {
+					if v == src {
+						continue
+					}
+					if d == Unreachable {
+						local.connected = false
+						continue
+					}
+					if d > local.diam {
+						local.diam = d
+					}
+					local.sum += int64(d)
+					local.pairs++
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	total := partial{connected: true}
+	for _, r := range results {
+		if r.diam > total.diam {
+			total.diam = r.diam
+		}
+		total.sum += r.sum
+		total.pairs += r.pairs
+		total.connected = total.connected && r.connected
+	}
+	stats := PathStats{Diameter: total.diam, Connected: total.connected, Pairs: total.pairs}
+	if total.pairs > 0 {
+		stats.AvgPath = float64(total.sum) / float64(total.pairs)
+	}
+	return stats
+}
+
+// Diameter returns the graph diameter, or Unreachable when disconnected.
+func (g *Graph) Diameter() int32 {
+	s := g.AllPairsStats()
+	if !s.Connected {
+		return Unreachable
+	}
+	return s.Diameter
+}
+
+// IsConnected reports whether the graph has a single connected component.
+func (g *Graph) IsConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	dist := g.BFSDistances(0, nil)
+	for _, d := range dist {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the vertex sets of the connected components, largest
+// first.
+func (g *Graph) Components() [][]int {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	queue := make([]int32, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		id := len(out)
+		members := []int{s}
+		comp[s] = id
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.adj[u] {
+				if comp[v] == -1 {
+					comp[v] = id
+					members = append(members, int(v))
+					queue = append(queue, v)
+				}
+			}
+		}
+		out = append(out, members)
+	}
+	// Largest component first (stable for equal sizes).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && len(out[j]) > len(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// LargestComponent returns the subgraph induced on the largest connected
+// component along with the mapping from new vertex ids to original ids.
+func (g *Graph) LargestComponent() (*Graph, []int) {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return NewBuilder(g.name, 0).Build(), nil
+	}
+	members := comps[0]
+	remap := make([]int32, g.n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, old := range members {
+		remap[old] = int32(newID)
+	}
+	b := NewBuilder(g.name, len(members))
+	for newID, old := range members {
+		if g.loops[old] {
+			b.loops[newID] = true
+		}
+		for _, w := range g.adj[old] {
+			if nw := remap[w]; nw >= 0 && int32(newID) < nw {
+				b.AddEdge(newID, int(nw))
+			}
+		}
+	}
+	return b.Build(), members
+}

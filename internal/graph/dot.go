@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT serializes the graph in Graphviz DOT format, with an optional
+// vertex grouping rendered as fill colors (supernodes of a star product,
+// groups of a Dragonfly). groupOf may be nil.
+func (g *Graph) WriteDOT(w io.Writer, groupOf func(int) int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %q {\n  node [shape=circle, style=filled];\n", g.name)
+	for v := 0; v < g.n; v++ {
+		if groupOf != nil {
+			// Cycle a small qualitative palette by group.
+			colors := []string{"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"}
+			fmt.Fprintf(bw, "  %d [fillcolor=%q];\n", v, colors[groupOf(v)%len(colors)])
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", v)
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if int(v) > u {
+				fmt.Fprintf(bw, "  %d -- %d;\n", u, v)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,47 @@
+package graph
+
+// Girth returns the length of a shortest cycle, or -1 for acyclic graphs.
+// Self-loop annotations are ignored (they are not network links). The
+// algorithm runs a BFS from every vertex and detects the first
+// cross/back edge closing a cycle — O(n·m), fine for every topology in
+// this repository.
+func (g *Graph) Girth() int {
+	best := -1
+	dist := make([]int32, g.n)
+	parent := make([]int32, g.n)
+	for src := 0; src < g.n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		parent[src] = -1
+		queue := []int32{int32(src)}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.adj[u] {
+				if v == parent[u] {
+					// Skip the tree edge back to the parent; parallel
+					// edges do not exist in this simple-graph type.
+					continue
+				}
+				if dist[v] == -1 {
+					dist[v] = dist[u] + 1
+					parent[v] = u
+					queue = append(queue, v)
+					continue
+				}
+				// Cycle through src (or at least no longer than one):
+				// length d(u) + d(v) + 1.
+				cyc := int(dist[u] + dist[v] + 1)
+				if best == -1 || cyc < best {
+					best = cyc
+				}
+			}
+			// Cycles found at deeper levels only grow; prune the BFS.
+			if best != -1 && int(dist[u])*2 >= best {
+				break
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGirthKnownGraphs(t *testing.T) {
+	if g := complete(4).Girth(); g != 3 {
+		t.Errorf("K4 girth = %d, want 3", g)
+	}
+	if g := cycle(6).Girth(); g != 6 {
+		t.Errorf("C6 girth = %d, want 6", g)
+	}
+	if g := cycle(5).Girth(); g != 5 {
+		t.Errorf("C5 girth = %d, want 5", g)
+	}
+	if g := path(7).Girth(); g != -1 {
+		t.Errorf("P7 girth = %d, want -1 (acyclic)", g)
+	}
+	// Petersen graph: girth 5.
+	pet := petersen()
+	if g := pet.Girth(); g != 5 {
+		t.Errorf("Petersen girth = %d, want 5", g)
+	}
+	// K_{3,3}: girth 4.
+	b := NewBuilder("k33", 6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	if g := b.Build().Girth(); g != 4 {
+		t.Errorf("K33 girth = %d, want 4", g)
+	}
+}
+
+// petersen builds the Petersen graph: outer C5, inner pentagram, spokes.
+func petersen() *Graph {
+	b := NewBuilder("petersen", 10)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(i, (i+1)%5)     // outer cycle
+		b.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		b.AddEdge(i, 5+i)         // spokes
+	}
+	return b.Build()
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := cycle(4)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph", "0 -- 1", "0 -- 3", "2 -- 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Grouped variant colors nodes.
+	buf.Reset()
+	if err := g.WriteDOT(&buf, func(v int) int { return v / 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fillcolor") {
+		t.Error("grouped DOT missing fill colors")
+	}
+}

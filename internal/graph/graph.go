@@ -1,0 +1,240 @@
+// Package graph provides the undirected-graph substrate shared by every
+// topology, routing and analysis component in the PolarStar reproduction.
+//
+// Graphs are immutable once built (construct with a Builder), which makes
+// them safe to share across the worker pools used by the parallel
+// all-pairs algorithms and the network simulator.
+//
+// Self-loops get first-class treatment because Erdős–Rényi polarity graphs
+// have self-orthogonal (quadric) vertices: the loop does not contribute a
+// usable network link, but Property R walks and the star product both
+// consume loop information (§6.1.2 of the paper).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph with optional self-loop
+// annotations. Vertices are dense integers [0, N).
+type Graph struct {
+	name   string
+	n      int
+	adj    [][]int32 // sorted neighbour lists, no self-loops, no duplicates
+	loops  []bool    // loops[v]: v carries a self-loop annotation
+	nEdges int       // number of undirected non-loop edges
+	nLoops int
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+type Builder struct {
+	name  string
+	n     int
+	edges map[int64]struct{}
+	loops []bool
+}
+
+// NewBuilder creates a builder for a graph on n vertices.
+func NewBuilder(name string, n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{
+		name:  name,
+		n:     n,
+		edges: make(map[int64]struct{}),
+		loops: make([]bool, n),
+	}
+}
+
+func (b *Builder) key(u, v int) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// AddEdge inserts the undirected edge {u, v}. Inserting an existing edge is
+// a no-op; u == v records a self-loop annotation instead of an edge.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		b.loops[u] = true
+		return
+	}
+	b.edges[b.key(u, v)] = struct{}{}
+}
+
+// HasEdge reports whether {u,v} was already added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u == v {
+		return b.loops[u]
+	}
+	_, ok := b.edges[b.key(u, v)]
+	return ok
+}
+
+// Build finalizes the graph. The builder must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	deg := make([]int, b.n)
+	for k := range b.edges {
+		deg[int(k>>32)]++
+		deg[int(k&0xffffffff)]++
+	}
+	adj := make([][]int32, b.n)
+	backing := make([]int32, 0, 2*len(b.edges))
+	offsets := make([]int, b.n)
+	pos := 0
+	for v := 0; v < b.n; v++ {
+		offsets[v] = pos
+		pos += deg[v]
+	}
+	backing = backing[:pos]
+	fill := make([]int, b.n)
+	for k := range b.edges {
+		u, v := int(k>>32), int(k&0xffffffff)
+		backing[offsets[u]+fill[u]] = int32(v)
+		backing[offsets[v]+fill[v]] = int32(u)
+		fill[u]++
+		fill[v]++
+	}
+	nLoops := 0
+	for v := 0; v < b.n; v++ {
+		adj[v] = backing[offsets[v] : offsets[v]+deg[v]]
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		if b.loops[v] {
+			nLoops++
+		}
+	}
+	return &Graph{
+		name:   b.name,
+		n:      b.n,
+		adj:    adj,
+		loops:  b.loops,
+		nEdges: len(b.edges),
+		nLoops: nLoops,
+	}
+}
+
+// Name returns the label assigned at construction.
+func (g *Graph) Name() string { return g.name }
+
+// N returns the number of vertices (the order of the graph).
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected non-loop edges.
+func (g *Graph) M() int { return g.nEdges }
+
+// NumLoops returns the number of self-loop annotations.
+func (g *Graph) NumLoops() int { return g.nLoops }
+
+// Degree returns the non-loop degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// HasLoop reports whether v carries a self-loop annotation.
+func (g *Graph) HasLoop(v int) bool { return g.loops[v] }
+
+// Neighbors returns the sorted neighbour list of v. The slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u,v} is an edge (loops excluded).
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	a := g.adj[u]
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < int32(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == int32(v)
+}
+
+// MaxDegree returns the largest non-loop degree; 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MinDegree returns the smallest non-loop degree; 0 for an empty graph.
+func (g *Graph) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	m := len(g.adj[0])
+	for v := 1; v < g.n; v++ {
+		if d := len(g.adj[v]); d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// IsRegular reports whether every vertex has the same non-loop degree.
+func (g *Graph) IsRegular() bool { return g.n == 0 || g.MaxDegree() == g.MinDegree() }
+
+// Edges returns all undirected edges as pairs with u < v, sorted.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.nEdges)
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			if int(w) > u {
+				out = append(out, [2]int{u, int(w)})
+			}
+		}
+	}
+	return out
+}
+
+// RemoveEdges returns a copy of g with the given undirected edges deleted.
+// Unknown edges are ignored. Loop annotations are preserved.
+func (g *Graph) RemoveEdges(edges [][2]int) *Graph {
+	drop := make(map[int64]struct{}, len(edges))
+	key := func(u, v int) int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return int64(u)<<32 | int64(v)
+	}
+	for _, e := range edges {
+		drop[key(e[0], e[1])] = struct{}{}
+	}
+	b := NewBuilder(g.name, g.n)
+	copy(b.loops, g.loops)
+	for u := 0; u < g.n; u++ {
+		for _, w := range g.adj[u] {
+			v := int(w)
+			if u < v {
+				if _, gone := drop[key(u, v)]; !gone {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Rename returns a shallow copy of g with a different name.
+func (g *Graph) Rename(name string) *Graph {
+	h := *g
+	h.name = name
+	return &h
+}
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s{n=%d m=%d loops=%d}", g.name, g.n, g.nEdges, g.nLoops)
+}

@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n, deg int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("bench", n)
+	for v := 0; v < n; v++ {
+		for k := 0; k < deg/2; k++ {
+			b.AddEdge(v, rng.Intn(n))
+		}
+	}
+	return b.Build()
+}
+
+func BenchmarkBFS1k(b *testing.B) {
+	g := randomGraph(1000, 16, 1)
+	dist := make([]int32, g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.BFSDistances(i%g.N(), dist)
+	}
+}
+
+func BenchmarkAllPairsStats1k(b *testing.B) {
+	g := randomGraph(1000, 16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllPairsStats()
+	}
+}
+
+func BenchmarkBuild10kEdges(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		randomGraph(1000, 20, int64(i))
+	}
+}
+
+func BenchmarkGirth(b *testing.B) {
+	g := randomGraph(500, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Girth()
+	}
+}

@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// path returns the path graph P_n.
+func path(n int) *Graph {
+	b := NewBuilder("path", n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// cycle returns the cycle graph C_n.
+func cycle(n int) *Graph {
+	b := NewBuilder("cycle", n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// complete returns K_n.
+func complete(n int) *Graph {
+	b := NewBuilder("complete", n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderDedupAndLoops(t *testing.T) {
+	b := NewBuilder("g", 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 2)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.M() != 1 {
+		t.Errorf("M = %d, want 1", g.M())
+	}
+	if g.NumLoops() != 1 || !g.HasLoop(2) || g.HasLoop(0) {
+		t.Errorf("loop bookkeeping wrong: loops=%d", g.NumLoops())
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("self-loop contributed to degree: %d", g.Degree(2))
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) || g.HasEdge(2, 2) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBuilder("g", 2).AddEdge(0, 2)
+}
+
+func TestDegreesAndRegularity(t *testing.T) {
+	k5 := complete(5)
+	if k5.MaxDegree() != 4 || k5.MinDegree() != 4 || !k5.IsRegular() {
+		t.Error("K5 should be 4-regular")
+	}
+	p4 := path(4)
+	if p4.MaxDegree() != 2 || p4.MinDegree() != 1 || p4.IsRegular() {
+		t.Error("P4 degree stats wrong")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(5)
+	dist := g.BFSDistances(0, nil)
+	for i, want := range []int32{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, dist[i], want)
+		}
+	}
+	// Disconnected case.
+	b := NewBuilder("g", 3)
+	b.AddEdge(0, 1)
+	g2 := b.Build()
+	dist2 := g2.BFSDistances(0, nil)
+	if dist2[2] != Unreachable {
+		t.Errorf("dist[2] = %d, want Unreachable", dist2[2])
+	}
+}
+
+func TestAllPairsStats(t *testing.T) {
+	cases := []struct {
+		g       *Graph
+		diam    int32
+		avg     float64
+		connect bool
+	}{
+		{cycle(6), 3, (1*2 + 2*2 + 3*1) * 6 / float64(6*5), true}, // per-vertex distances 1,1,2,2,3
+		{complete(7), 1, 1, true},
+		{path(4), 3, (1*3*2 + 2*2*2 + 3*1*2) / float64(12), true},
+	}
+	for _, c := range cases {
+		s := c.g.AllPairsStats()
+		if s.Diameter != c.diam {
+			t.Errorf("%v diameter = %d, want %d", c.g, s.Diameter, c.diam)
+		}
+		if s.Connected != c.connect {
+			t.Errorf("%v connected = %v", c.g, s.Connected)
+		}
+		if diff := s.AvgPath - c.avg; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%v avg = %f, want %f", c.g, s.AvgPath, c.avg)
+		}
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	b := NewBuilder("g", 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.Diameter() != Unreachable {
+		t.Error("disconnected graph should report Unreachable diameter")
+	}
+	if g.IsConnected() {
+		t.Error("IsConnected wrong")
+	}
+	comps := g.Components()
+	if len(comps) != 2 || len(comps[0]) != 2 {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	b := NewBuilder("g", 6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(2, 2)
+	g := b.Build()
+	lc, members := g.LargestComponent()
+	if lc.N() != 3 || lc.M() != 2 {
+		t.Errorf("largest component n=%d m=%d", lc.N(), lc.M())
+	}
+	if len(members) != 3 {
+		t.Errorf("members = %v", members)
+	}
+	if lc.NumLoops() != 1 {
+		t.Errorf("loop not preserved in component extraction")
+	}
+}
+
+func TestRemoveEdges(t *testing.T) {
+	g := cycle(5)
+	h := g.RemoveEdges([][2]int{{0, 1}, {3, 2}})
+	if h.M() != 3 {
+		t.Errorf("M = %d, want 3", h.M())
+	}
+	if h.HasEdge(0, 1) || h.HasEdge(2, 3) {
+		t.Error("edges not removed")
+	}
+	if !h.HasEdge(1, 2) {
+		t.Error("unrelated edge removed")
+	}
+	// Original untouched.
+	if g.M() != 5 {
+		t.Error("RemoveEdges mutated the receiver")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := complete(6)
+	edges := g.Edges()
+	if len(edges) != 15 {
+		t.Fatalf("len(edges) = %d, want 15", len(edges))
+	}
+	b := NewBuilder("copy", 6)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	h := b.Build()
+	if h.M() != g.M() {
+		t.Error("edge round trip lost edges")
+	}
+}
+
+func TestEdgeListIO(t *testing.T) {
+	b := NewBuilder("demo", 5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 4)
+	b.AddEdge(2, 2)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "demo" || h.N() != 5 || h.M() != 2 || h.NumLoops() != 1 {
+		t.Errorf("round trip mismatch: %v", h)
+	}
+	if !h.HasEdge(0, 1) || !h.HasEdge(1, 4) || !h.HasLoop(2) {
+		t.Error("edge content mismatch after round trip")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(bytes.NewBufferString("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadEdgeList(bytes.NewBufferString("0 1\n")); err == nil {
+		t.Error("edge before header should error")
+	}
+}
+
+// TestBFSPropertyTriangleInequality: for random graphs, d(s,v) <= d(s,u)+1
+// for every edge (u,v) — the defining property of BFS layering.
+func TestBFSPropertyTriangleInequality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(30)
+		b := NewBuilder("rand", n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Build()
+		dist := g.BFSDistances(0, nil)
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				du, dv := dist[u], dist[v]
+				if du == Unreachable != (dv == Unreachable) {
+					return false
+				}
+				if du != Unreachable && (dv > du+1 || du > dv+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllPairsMatchesSingleSource cross-checks the parallel aggregate
+// against a serial recomputation.
+func TestAllPairsMatchesSingleSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 60
+	b := NewBuilder("rand", n)
+	for i := 0; i < 4*n; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	g, _ := b.Build().LargestComponent()
+	want := g.AllPairsStats()
+
+	var diam int32
+	var sum, pairs int64
+	for s := 0; s < g.N(); s++ {
+		dist := g.BFSDistances(s, nil)
+		for v, d := range dist {
+			if v == s || d == Unreachable {
+				continue
+			}
+			if d > diam {
+				diam = d
+			}
+			sum += int64(d)
+			pairs++
+		}
+	}
+	if want.Diameter != diam || want.Pairs != pairs {
+		t.Errorf("parallel stats (%d,%d) != serial (%d,%d)", want.Diameter, want.Pairs, diam, pairs)
+	}
+	avg := float64(sum) / float64(pairs)
+	if diff := want.AvgPath - avg; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("avg mismatch: %f vs %f", want.AvgPath, avg)
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := path(5)
+	ecc, conn := g.Eccentricity(0)
+	if ecc != 4 || !conn {
+		t.Errorf("ecc=%d conn=%v", ecc, conn)
+	}
+	ecc, conn = g.Eccentricity(2)
+	if ecc != 2 || !conn {
+		t.Errorf("ecc=%d conn=%v", ecc, conn)
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteEdgeList serializes the graph in a plain-text format:
+//
+//	# name <name>
+//	# n <vertices> m <edges> loops <loops>
+//	u v        (one edge per line, u < v)
+//	v loop     (one line per self-loop annotation)
+//
+// The format round-trips through ReadEdgeList and is the interchange format
+// emitted by cmd/psgen.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# name %s\n# n %d m %d loops %d\n", g.name, g.n, g.nEdges, g.nLoops); err != nil {
+		return err
+	}
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if int(v) > u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if g.loops[v] {
+			if _, err := fmt.Fprintf(bw, "%d loop\n", v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	name := ""
+	n := -1
+	var b *Builder
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			for i := 1; i < len(fields)-1; i++ {
+				switch fields[i] {
+				case "name":
+					name = fields[i+1]
+				case "n":
+					if _, err := fmt.Sscanf(fields[i+1], "%d", &n); err != nil {
+						return nil, fmt.Errorf("graph: bad header %q: %v", line, err)
+					}
+				}
+			}
+			continue
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("graph: edge before '# n <count>' header")
+		}
+		if b == nil {
+			b = NewBuilder(name, n)
+		}
+		var u, v int
+		if strings.HasSuffix(line, "loop") {
+			if _, err := fmt.Sscanf(line, "%d loop", &u); err != nil {
+				return nil, fmt.Errorf("graph: bad loop line %q: %v", line, err)
+			}
+			b.AddEdge(u, u)
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %v", line, err)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		if n < 0 {
+			return nil, fmt.Errorf("graph: empty input")
+		}
+		b = NewBuilder(name, n)
+	}
+	return b.Build(), nil
+}

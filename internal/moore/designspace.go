@@ -1,0 +1,118 @@
+package moore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"polarstar/internal/gf"
+	"polarstar/internal/topo"
+)
+
+// Config is one feasible PolarStar configuration (a Fig 7 point).
+type Config struct {
+	Radix  int
+	Q      int
+	DPrime int
+	Kind   topo.SupernodeKind
+	Order  int64
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("PolarStar-%v(q=%d,d'=%d): radix %d, %d routers", c.Kind, c.Q, c.DPrime, c.Radix, c.Order)
+}
+
+// PolarStarConfigs enumerates every feasible PolarStar configuration at
+// the given radix, largest first (Fig 7: the design space offers many
+// orders per radix).
+func PolarStarConfigs(radix int) []Config {
+	var out []Config
+	for _, kind := range []topo.SupernodeKind{topo.KindIQ, topo.KindPaley} {
+		for q := 2; q+1 <= radix; q++ {
+			dPrime := radix - (q + 1)
+			if order := topo.PolarStarOrder(q, dPrime, kind); order > 0 {
+				out = append(out, Config{Radix: radix, Q: q, DPrime: dPrime, Kind: kind, Order: int64(order)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Order > out[j].Order })
+	return out
+}
+
+// OptimalQ returns the real-valued maximizer of the PolarStar-IQ order
+// (q²+q+1)(2d*−2q) over q for fixed product degree dStar:
+//
+//	q* = ((d*−1) + sqrt((d*−1)(d*+2))) / 3  ≈  2d*/3.
+//
+// The paper's Equation (1) prints sqrt((d*−1)(d*−2)); setting the
+// derivative −6q² + (2d*−2)·2q + 2(d*−1) = 0 gives (d*+2) in the
+// radical. Both forms agree with 2d*/3 to within one unit for all
+// relevant radixes; see EXPERIMENTS.md (E18) for the note.
+func OptimalQ(dStar int) float64 {
+	d := float64(dStar)
+	return ((d - 1) + math.Sqrt((d-1)*(d+2))) / 3
+}
+
+// PaperOptimalQ returns Equation (1) exactly as printed in the paper,
+// kept for comparison against OptimalQ.
+func PaperOptimalQ(dStar int) float64 {
+	d := float64(dStar)
+	return ((d - 1) + math.Sqrt((d-1)*(d-2))) / 3
+}
+
+// MaxOrderIQ returns Equation (2): the asymptotic maximum PolarStar-IQ
+// order (8d*³ + 12d*² + 18d*)/27 for radix dStar.
+func MaxOrderIQ(dStar int) float64 {
+	d := float64(dStar)
+	return (8*d*d*d + 12*d*d + 18*d) / 27
+}
+
+// Diam2Point mirrors Point for the diameter-2 families of Fig 4.
+
+// BestERPoint returns the ER graph point at the radix: order q²+q+1 at
+// degree q+1 when q = radix−1 is a prime power.
+func BestERPoint(radix int) Point {
+	p := Point{Radix: radix}
+	q := radix - 1
+	if q >= 2 && isPrimePower(q) {
+		p.Order = int64(q*q + q + 1)
+		p.Config = fmt.Sprintf("ER_%d", q)
+	}
+	return p
+}
+
+// BestMMSPoint returns the MMS graph point: order 2q² at degree
+// (3q−δ)/2 when the radix matches such a q.
+func BestMMSPoint(radix int) Point {
+	p := Point{Radix: radix}
+	for q := 3; q <= radix; q++ {
+		if topo.MMSDegree(q) == radix {
+			p.Order = int64(topo.MMSOrder(q))
+			p.Config = fmt.Sprintf("MMS_%d", q)
+		}
+	}
+	return p
+}
+
+// PaleyPoint returns the Paley graph point: order 2d+1 at degree d when
+// 2d+1 is a prime power ≡ 1 mod 4.
+func PaleyPoint(radix int) Point {
+	p := Point{Radix: radix}
+	q := 2*radix + 1
+	if radix >= 2 && radix%2 == 0 && isPrimePower(q) && q%4 == 1 {
+		p.Order = int64(q)
+		p.Config = fmt.Sprintf("Paley(%d)", q)
+	}
+	return p
+}
+
+// CayleyDiam2Point returns the reference curve for the best known
+// diameter-2 Cayley graphs (Abas 2017), which reach roughly half the
+// Moore bound: order ⌊(d²+d+2)/2⌋. This is a published closed-form scale
+// reference, not an explicit construction in this repository.
+func CayleyDiam2Point(radix int) Point {
+	d := int64(radix)
+	return Point{Radix: radix, Order: (d*d + d + 2) / 2, Config: "Cayley(Abas)"}
+}
+
+func isPrimePower(q int) bool { return gf.IsPrimePower(q) }

@@ -1,0 +1,113 @@
+package motifs
+
+import (
+	"testing"
+
+	"polarstar/internal/flowsim"
+	"polarstar/internal/route"
+	"polarstar/internal/sim"
+)
+
+func TestRingAllreduceCompletes(t *testing.T) {
+	n := network("ps-iq-small", false, 1)
+	tm := AllreduceRing(n, 64, 64*1024, 1)
+	if tm <= 0 {
+		t.Fatal("non-positive time")
+	}
+	// 2(p−1) serialized chunk steps is the bandwidth floor per rank.
+	chunkNS := 64.0 * 1024 / 64 / 4
+	if tm < 2*63*chunkNS {
+		t.Errorf("ring allreduce %f beats the bandwidth floor", tm)
+	}
+}
+
+func TestRabenseifnerCompletes(t *testing.T) {
+	n := network("ps-iq-small", false, 2)
+	tm := AllreduceRabenseifner(n, 64, 64*1024, 1)
+	if tm <= 0 {
+		t.Fatal("non-positive time")
+	}
+}
+
+// TestAlgorithmTradeoffLargeMessages: for large messages, the
+// bandwidth-optimal algorithms (ring, Rabenseifner) must beat plain
+// recursive doubling, which sends the full buffer every round.
+func TestAlgorithmTradeoffLargeMessages(t *testing.T) {
+	const big = 1 << 20 // 1 MB
+	rd := Allreduce(network("ps-iq-small", false, 3), 64, big, 1)
+	rab := AllreduceRabenseifner(network("ps-iq-small", false, 3), 64, big, 1)
+	if rab >= rd {
+		t.Errorf("Rabenseifner (%f) not faster than recursive doubling (%f) at 1MB", rab, rd)
+	}
+}
+
+// TestAlgorithmTradeoffSmallMessages: for tiny messages, latency
+// dominates and the 2(p−1)-step ring must lose to the log-round
+// algorithms.
+func TestAlgorithmTradeoffSmallMessages(t *testing.T) {
+	const small = 64
+	rd := Allreduce(network("ps-iq-small", false, 4), 64, small, 1)
+	ring := AllreduceRing(network("ps-iq-small", false, 4), 64, small, 1)
+	if ring <= rd {
+		t.Errorf("ring (%f) not slower than recursive doubling (%f) at 64B", ring, rd)
+	}
+}
+
+func TestAllToAllCompletes(t *testing.T) {
+	n := network("ps-iq-small", false, 5)
+	tm := AllToAll(n, 32, 4096, 1)
+	if tm <= 0 {
+		t.Fatal("non-positive time")
+	}
+	// Each rank receives (p−1) messages on one ejection link: that
+	// serialization is a hard floor.
+	ser := 4096.0 / 4
+	if tm < 31*ser {
+		t.Errorf("alltoall %f beats the ejection serialization floor", tm)
+	}
+}
+
+func TestCollectivesDegenerate(t *testing.T) {
+	n := network("ps-iq-small", false, 6)
+	if AllreduceRing(n, 1, 1024, 1) != 0 {
+		t.Error("single-rank ring should be free")
+	}
+	if AllreduceRabenseifner(network("ps-iq-small", false, 6), 1, 1024, 1) != 0 {
+		t.Error("single-rank rabenseifner should be free")
+	}
+	if AllToAll(network("ps-iq-small", false, 6), 1, 1024, 1) != 0 {
+		t.Error("single-rank alltoall should be free")
+	}
+}
+
+// TestTreeAllreduceScalesWithTrees: splitting the buffer over more
+// edge-disjoint trees must not be slower — and is typically faster —
+// than a single tree for bandwidth-bound messages.
+func TestTreeAllreduceScalesWithTrees(t *testing.T) {
+	spec := sim.MustNewSpec("ps-iq-small")
+	trees := route.EdgeDisjointSpanningTrees(spec.Graph, 0, 0, 1)
+	if len(trees) < 2 {
+		t.Skip("not enough disjoint trees")
+	}
+	run := func(k int) float64 {
+		p := flowsim.DefaultParams(1)
+		net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), nil, p)
+		return TreeAllreduce(net, trees[:k], 1<<20, 1)
+	}
+	one := run(1)
+	all := run(len(trees))
+	if all > one {
+		t.Errorf("%d trees (%f ns) slower than 1 tree (%f ns)", len(trees), all, one)
+	}
+	if one <= 0 || all <= 0 {
+		t.Fatal("non-positive completion time")
+	}
+}
+
+func TestTreeAllreduceEmpty(t *testing.T) {
+	spec := sim.MustNewSpec("ps-iq-small")
+	net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), nil, flowsim.DefaultParams(1))
+	if TreeAllreduce(net, nil, 1024, 1) != 0 {
+		t.Error("empty tree set should be free")
+	}
+}

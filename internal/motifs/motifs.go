@@ -1,0 +1,97 @@
+// Package motifs implements the Ember communication patterns evaluated
+// in §10 on top of the flow-level simulator: the Allreduce collective
+// (recursive doubling) and the Sweep3D wavefront. Process IDs map
+// linearly to endpoints, as in the paper.
+package motifs
+
+import (
+	"polarstar/internal/flowsim"
+)
+
+// Allreduce simulates `iters` iterations of a recursive-doubling
+// allreduce of msgBytes across the first `ranks` endpoints (rounded down
+// to a power of two, like the collective implementations the paper's
+// Ember motif models). It returns the completion time in ns.
+func Allreduce(n *flowsim.Network, ranks int, msgBytes float64, iters int) float64 {
+	p := 1
+	for p*2 <= ranks {
+		p *= 2
+	}
+	ready := make([]float64, p)
+	arrive := make([]float64, p)
+	for it := 0; it < iters; it++ {
+		for step := 1; step < p; step *= 2 {
+			// All ranks exchange with their partner; a rank enters the
+			// next round when its partner's message has arrived.
+			for r := 0; r < p; r++ {
+				partner := r ^ step
+				arrive[partner] = n.Send(r, partner, msgBytes, ready[r])
+			}
+			for r := 0; r < p; r++ {
+				if arrive[r] > ready[r] {
+					ready[r] = arrive[r]
+				}
+			}
+		}
+	}
+	max := 0.0
+	for _, t := range ready {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Sweep3D simulates `iters` wavefront sweeps over a px × py logical
+// process grid (§10.1: a diagonal wavefront stressing latency). Each rank
+// waits for its west and north neighbors, spends computeNS, then sends
+// msgBytes east and south. Ranks map linearly to endpoints (rank =
+// y*px + x). Returns the completion time in ns.
+func Sweep3D(n *flowsim.Network, px, py int, msgBytes, computeNS float64, iters int) float64 {
+	ranks := px * py
+	ready := make([]float64, ranks)   // rank may start its cell work
+	done := make([]float64, ranks)    // rank finished compute
+	eastIn := make([]float64, ranks)  // arrival from the west neighbor
+	southIn := make([]float64, ranks) // arrival from the north neighbor
+	finish := 0.0
+	for it := 0; it < iters; it++ {
+		for i := range eastIn {
+			eastIn[i], southIn[i] = 0, 0
+		}
+		// Process ranks in wavefront order (anti-diagonals).
+		for diag := 0; diag <= px+py-2; diag++ {
+			for x := 0; x < px; x++ {
+				y := diag - x
+				if y < 0 || y >= py {
+					continue
+				}
+				r := y*px + x
+				start := ready[r]
+				if eastIn[r] > start {
+					start = eastIn[r]
+				}
+				if southIn[r] > start {
+					start = southIn[r]
+				}
+				done[r] = start + computeNS
+				if x+1 < px {
+					east := r + 1
+					eastIn[east] = n.Send(r, east, msgBytes, done[r])
+				}
+				if y+1 < py {
+					south := r + px
+					southIn[south] = n.Send(r, south, msgBytes, done[r])
+				}
+			}
+		}
+		// Next iteration: each rank restarts after finishing this sweep.
+		for r := range ready {
+			ready[r] = done[r]
+			if done[r] > finish {
+				finish = done[r]
+			}
+		}
+	}
+	return finish
+}

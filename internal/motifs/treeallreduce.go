@@ -1,0 +1,66 @@
+package motifs
+
+import (
+	"polarstar/internal/flowsim"
+	"polarstar/internal/route"
+)
+
+// TreeAllreduce simulates an in-network-style allreduce over k
+// edge-disjoint spanning trees (the Dawkins et al. extension): the buffer
+// is split into k shards; shard i reduces up tree i (leaves → root) and
+// broadcasts back down. Trees run concurrently and each uses its own
+// links, so bandwidth scales with k.
+//
+// Endpoint i of each participating router acts as the router's rank (one
+// rank per router, the in-network model). Returns the completion time in
+// ns.
+func TreeAllreduce(n *flowsim.Network, trees []*route.SpanningTree, msgBytes float64, iters int) float64 {
+	if len(trees) == 0 {
+		return 0
+	}
+	cfg := n.Config()
+	perRouter := cfg.PerRouter
+	rankOf := func(router int) int { return router * perRouter } // first endpoint on the router
+	shard := msgBytes / float64(len(trees))
+	finish := 0.0
+	ready := make([]float64, len(trees[0].Parent))
+	for it := 0; it < iters; it++ {
+		for _, tree := range trees {
+			children := tree.Children()
+			// Reduce: post-order — a node sends to its parent once all
+			// its children's contributions arrived.
+			var up func(v int) float64
+			up = func(v int) float64 {
+				t := ready[v]
+				for _, c := range children[v] {
+					childDone := up(int(c))
+					arr := n.Send(rankOf(int(c)), rankOf(v), shard, childDone)
+					if arr > t {
+						t = arr
+					}
+				}
+				return t
+			}
+			rootReady := up(tree.Root)
+			// Broadcast: pre-order down the same tree.
+			var down func(v int, at float64)
+			done := make([]float64, len(tree.Parent))
+			down = func(v int, at float64) {
+				done[v] = at
+				for _, c := range children[v] {
+					down(int(c), n.Send(rankOf(v), rankOf(int(c)), shard, at))
+				}
+			}
+			down(tree.Root, rootReady)
+			for v, t := range done {
+				if t > ready[v] {
+					ready[v] = t
+				}
+				if t > finish {
+					finish = t
+				}
+			}
+		}
+	}
+	return finish
+}

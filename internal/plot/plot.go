@@ -1,0 +1,178 @@
+// Package plot renders the experiment results as standalone SVG line
+// charts, so the cmd tools can regenerate figure artifacts (latency-load
+// curves, bisection sweeps, fault curves) and not just tables. Pure
+// stdlib, deliberately minimal: linear axes, auto-scaled ranges, legend,
+// one polyline per series.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct{ X, Y float64 }
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Chart is a complete line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+
+	// Optional fixed ranges; when Max <= Min the range is auto-scaled.
+	XMin, XMax float64
+	YMin, YMax float64
+}
+
+// Add appends a series built from parallel x/y slices (NaN/Inf samples
+// are dropped).
+func (c *Chart) Add(name string, xs, ys []float64) {
+	s := Series{Name: name}
+	for i := range xs {
+		if i >= len(ys) {
+			break
+		}
+		if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			continue
+		}
+		s.Points = append(s.Points, Point{X: xs[i], Y: ys[i]})
+	}
+	c.Series = append(c.Series, s)
+}
+
+// palette holds distinguishable stroke colors (cycled).
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+}
+
+const (
+	width   = 720.0
+	height  = 440.0
+	marginL = 70.0
+	marginR = 160.0
+	marginT = 50.0
+	marginB = 55.0
+)
+
+// WriteSVG renders the chart.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	xmin, xmax, ymin, ymax := c.ranges()
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	sx := func(x float64) float64 {
+		if xmax == xmin {
+			return marginL + plotW/2
+		}
+		return marginL + (x-xmin)/(xmax-xmin)*plotW
+	}
+	sy := func(y float64) float64 {
+		if ymax == ymin {
+			return marginT + plotH/2
+		}
+		return marginT + plotH - (y-ymin)/(ymax-ymin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	// Title and labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, marginT-20, escape(c.Title))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 %.1f %.1f)">%s</text>`+"\n",
+		18.0, marginT+plotH/2, 18.0, marginT+plotH/2, escape(c.YLabel))
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc"/>`+"\n",
+			sx(fx), marginT, sx(fx), marginT+plotH)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginL, sy(fy), marginL+plotW, sy(fy))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			sx(fx), marginT+plotH+16, formatTick(fx))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, sy(fy)+4, formatTick(fy))
+	}
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(p.Y)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", sx(p.X), sy(p.Y), color)
+		}
+		// Legend entry.
+		ly := marginT + 12 + float64(si)*18
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+12, ly, width-marginR+36, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR+42, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Chart) ranges() (xmin, xmax, ymin, ymax float64) {
+	xmin, xmax, ymin, ymax = math.Inf(1), math.Inf(-1), math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if c.XMax > c.XMin {
+		xmin, xmax = c.XMin, c.XMax
+	}
+	if c.YMax > c.YMin {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if ymin > 0 && (ymax-ymin) > ymin*2 {
+		ymin = 0 // anchor wide-range charts at zero
+	}
+	return
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 100000:
+		return fmt.Sprintf("%.1fk", v/1000)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,78 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	c := &Chart{Title: "Latency vs load", XLabel: "offered load", YLabel: "latency (cycles)"}
+	c.Add("polarstar", []float64{0.1, 0.3, 0.5}, []float64{18, 22, 35})
+	c.Add("dragonfly", []float64{0.1, 0.3, 0.5}, []float64{17, 25, 90})
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	for _, want := range []string{"polarstar", "dragonfly", "Latency vs load", "polyline", "offered load"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestAddDropsBadSamples(t *testing.T) {
+	c := &Chart{}
+	inf := 1.0
+	for i := 0; i < 400; i++ {
+		inf *= 10
+	}
+	c.Add("s", []float64{1, 2, 3}, []float64{1, inf, 3})
+	if len(c.Series[0].Points) != 2 {
+		t.Errorf("points = %d, want 2 (Inf dropped)", len(c.Series[0].Points))
+	}
+}
+
+func TestEmptyChartStillRenders(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no svg element")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{Title: `a < b & "c"`}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `a < b &`) {
+		t.Error("title not escaped")
+	}
+}
+
+func TestFixedRanges(t *testing.T) {
+	c := &Chart{XMin: 0, XMax: 1, YMin: 0, YMax: 100}
+	c.Add("s", []float64{0.5}, []float64{50})
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package route implements the routing engines of the evaluation (§9.2,
+// §9.3): table-based minimal routing with single- or all-minpath
+// selection, the storage-light analytic PolarStar minpath router, and
+// topology-specific minimal routers for Dragonfly, HyperX, Fat-tree and
+// Megafly. Valiant/UGAL path selection is layered on top of any Engine.
+package route
+
+import (
+	"math/rand"
+	"runtime"
+
+	"polarstar/internal/graph"
+)
+
+func workerCount(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Engine computes router-level paths through one topology.
+type Engine interface {
+	// Route returns a minimal path from src to dst as a vertex sequence
+	// including both endpoints (nil for src == dst). Engines with path
+	// diversity use rng to sample among minimal paths; deterministic
+	// engines ignore it.
+	Route(src, dst int, rng *rand.Rand) []int
+	// Dist returns the hop distance from src to dst.
+	Dist(src, dst int) int
+}
+
+// Table is the all-pairs BFS routing engine: a distance table plus
+// per-step next-hop sampling. Mode MultiPath samples uniformly among all
+// minimal next hops at every step (the "all minpaths in routing tables"
+// configuration used for Spectralfly and Bundlefly in §9.3); SinglePath
+// always picks the lowest-numbered next hop (one fixed minpath per pair).
+type Table struct {
+	g    *graph.Graph
+	dist []uint8 // n*n hop distances
+	mode TableMode
+}
+
+// TableMode selects minpath diversity for Table engines.
+type TableMode int
+
+const (
+	// SinglePath deterministically uses one minimal path per pair.
+	SinglePath TableMode = iota
+	// MultiPath samples uniformly among minimal next hops per step.
+	MultiPath
+)
+
+// NewTable builds the all-pairs table for g. Graphs are limited to 65534
+// vertices and diameter 254 (far beyond every evaluated configuration).
+func NewTable(g *graph.Graph, mode TableMode) *Table {
+	n := g.N()
+	t := &Table{g: g, dist: make([]uint8, n*n), mode: mode}
+	// Parallel BFS over sources.
+	parallelFor(n, func(src int) {
+		row := make([]int32, n)
+		g.BFSDistances(src, row)
+		base := src * n
+		for v, d := range row {
+			if d < 0 {
+				t.dist[base+v] = 0xff
+			} else {
+				t.dist[base+v] = uint8(d)
+			}
+		}
+	})
+	return t
+}
+
+// Dist implements Engine.
+func (t *Table) Dist(src, dst int) int {
+	d := t.dist[src*t.g.N()+dst]
+	if d == 0xff {
+		return -1
+	}
+	return int(d)
+}
+
+// Route implements Engine.
+func (t *Table) Route(src, dst int, rng *rand.Rand) []int {
+	if src == dst {
+		return nil
+	}
+	n := t.g.N()
+	if t.dist[src*n+dst] == 0xff {
+		return nil
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		d := t.dist[cur*n+dst]
+		var pick int32 = -1
+		count := 0
+		for _, w := range t.g.Neighbors(cur) {
+			if t.dist[int(w)*n+dst] == d-1 {
+				if t.mode == SinglePath {
+					pick = w
+					break
+				}
+				count++
+				if rng.Intn(count) == 0 {
+					pick = w
+				}
+			}
+		}
+		cur = int(pick)
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Graph returns the underlying graph.
+func (t *Table) Graph() *graph.Graph { return t.g }
+
+// PathValid reports whether path is a valid walk in g from its first to
+// its last element.
+func PathValid(g *graph.Graph, path []int) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers.
+func parallelFor(n int, fn func(int)) {
+	workers := workerCount(n)
+	done := make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+			done <- struct{}{}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,125 @@
+package route
+
+import (
+	"math/rand"
+
+	"polarstar/internal/graph"
+)
+
+// Edge-disjoint spanning trees (EDSTs). The paper's companion work
+// (Dawkins et al., "Edge-Disjoint Spanning Trees on Star-Product
+// Networks", cited in §6.1.1) uses EDSTs for in-network collectives:
+// k disjoint trees carry k parallel reduction flows, multiplying
+// collective bandwidth. This implementation extracts trees greedily —
+// each tree is a randomized BFS spanning tree over the edges not used by
+// earlier trees — which does not always reach the Nash–Williams optimum
+// but is simple, fast and deterministic per seed.
+
+// SpanningTree is a rooted tree over the full vertex set: Parent[v] is
+// v's parent router (-1 at the root).
+type SpanningTree struct {
+	Root   int
+	Parent []int32
+}
+
+// Children returns the children lists of the tree.
+func (t *SpanningTree) Children() [][]int32 {
+	out := make([][]int32, len(t.Parent))
+	for v, p := range t.Parent {
+		if p >= 0 {
+			out[p] = append(out[p], int32(v))
+		}
+	}
+	return out
+}
+
+// Depth returns the maximum root-to-leaf distance.
+func (t *SpanningTree) Depth() int {
+	depth := make([]int, len(t.Parent))
+	max := 0
+	var dfs func(v int) int
+	dfs = func(v int) int {
+		p := t.Parent[v]
+		if p < 0 {
+			return 0
+		}
+		if depth[v] == 0 {
+			depth[v] = dfs(int(p)) + 1
+		}
+		return depth[v]
+	}
+	for v := range t.Parent {
+		if d := dfs(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// EdgeDisjointSpanningTrees extracts up to maxTrees pairwise
+// edge-disjoint spanning trees rooted at root (maxTrees <= 0 extracts as
+// many as the greedy process finds). Each tree is a randomized-Kruskal
+// spanning tree over the edges unused by earlier trees — the random edge
+// order spreads degree usage, so a high-degree vertex does not donate all
+// its edges to the first tree. Deterministic for a given seed.
+func EdgeDisjointSpanningTrees(g *graph.Graph, root, maxTrees int, seed int64) []*SpanningTree {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.N()
+	remaining := g.Edges()
+	var trees []*SpanningTree
+	uf := make([]int32, n)
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]] // path halving
+			x = uf[x]
+		}
+		return x
+	}
+	for maxTrees <= 0 || len(trees) < maxTrees {
+		rng.Shuffle(len(remaining), func(i, j int) { remaining[i], remaining[j] = remaining[j], remaining[i] })
+		for i := range uf {
+			uf[i] = int32(i)
+		}
+		adj := make([][]int32, n) // tree adjacency
+		taken := 0
+		unusedTail := remaining[:0]
+		for _, e := range remaining {
+			if taken == n-1 {
+				unusedTail = append(unusedTail, e)
+				continue
+			}
+			ru, rv := find(int32(e[0])), find(int32(e[1]))
+			if ru == rv {
+				unusedTail = append(unusedTail, e)
+				continue
+			}
+			uf[ru] = rv
+			adj[e[0]] = append(adj[e[0]], int32(e[1]))
+			adj[e[1]] = append(adj[e[1]], int32(e[0]))
+			taken++
+		}
+		if taken != n-1 {
+			break // remaining edges no longer span the graph
+		}
+		remaining = unusedTail
+		// Root the tree at `root` by BFS over its own edges.
+		parent := make([]int32, n)
+		for i := range parent {
+			parent[i] = -2
+		}
+		parent[root] = -1
+		queue := []int32{int32(root)}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj[u] {
+				if parent[v] == -2 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		trees = append(trees, &SpanningTree{Root: root, Parent: parent})
+	}
+	return trees
+}

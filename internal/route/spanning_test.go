@@ -1,0 +1,113 @@
+package route
+
+import (
+	"testing"
+
+	"polarstar/internal/topo"
+)
+
+func validateTrees(t *testing.T, n int, trees []*SpanningTree, g interface{ HasEdge(u, v int) bool }) {
+	t.Helper()
+	used := map[[2]int]bool{}
+	for ti, tree := range trees {
+		if len(tree.Parent) != n {
+			t.Fatalf("tree %d has %d vertices, want %d", ti, len(tree.Parent), n)
+		}
+		roots := 0
+		for v, p := range tree.Parent {
+			if p == -1 {
+				roots++
+				continue
+			}
+			if p < 0 {
+				t.Fatalf("tree %d: vertex %d unvisited", ti, v)
+			}
+			if !g.HasEdge(v, int(p)) {
+				t.Fatalf("tree %d: edge (%d,%d) not in graph", ti, v, p)
+			}
+			a, b := v, int(p)
+			if a > b {
+				a, b = b, a
+			}
+			if used[[2]int{a, b}] {
+				t.Fatalf("edge (%d,%d) reused across trees", a, b)
+			}
+			used[[2]int{a, b}] = true
+		}
+		if roots != 1 {
+			t.Fatalf("tree %d has %d roots", ti, roots)
+		}
+		// Connectivity: walking parents from every vertex reaches the root.
+		for v := range tree.Parent {
+			cur, steps := v, 0
+			for tree.Parent[cur] != -1 {
+				cur = int(tree.Parent[cur])
+				if steps++; steps > n {
+					t.Fatalf("tree %d has a parent cycle", ti)
+				}
+			}
+			if cur != tree.Root {
+				t.Fatalf("tree %d: vertex %d does not reach root", ti, v)
+			}
+		}
+	}
+}
+
+func TestEdgeDisjointSpanningTreesOnPolarStar(t *testing.T) {
+	ps := topo.MustNewPolarStar(4, 3, topo.KindIQ)
+	trees := EdgeDisjointSpanningTrees(ps.G, 0, 0, 1)
+	// A radix-8 well-connected graph should yield several disjoint trees
+	// (Nash–Williams bound is ~minDegree/2; greedy finds at least 2).
+	if len(trees) < 2 {
+		t.Fatalf("only %d disjoint spanning trees found", len(trees))
+	}
+	validateTrees(t, ps.G.N(), trees, ps.G)
+}
+
+func TestEdgeDisjointSpanningTreesLimit(t *testing.T) {
+	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
+	trees := EdgeDisjointSpanningTrees(ps.G, 5, 2, 1)
+	if len(trees) != 2 {
+		t.Fatalf("limit ignored: %d trees", len(trees))
+	}
+	if trees[0].Root != 5 || trees[1].Root != 5 {
+		t.Error("root not respected")
+	}
+	validateTrees(t, ps.G.N(), trees, ps.G)
+}
+
+func TestSpanningTreeDepth(t *testing.T) {
+	// A path graph's spanning tree from an end has depth n-1.
+	g := newCycleBuilder(6)
+	trees := EdgeDisjointSpanningTrees(g, 0, 0, 3)
+	if len(trees) != 1 {
+		t.Fatalf("C6 should give exactly 1 spanning tree, got %d", len(trees))
+	}
+	if d := trees[0].Depth(); d < 3 || d > 5 {
+		t.Errorf("C6 tree depth = %d, want 3..5", d)
+	}
+	children := trees[0].Children()
+	total := 0
+	for _, c := range children {
+		total += len(c)
+	}
+	if total != 5 {
+		t.Errorf("tree has %d child links, want n-1 = 5", total)
+	}
+}
+
+func TestTreesDeterministic(t *testing.T) {
+	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
+	a := EdgeDisjointSpanningTrees(ps.G, 0, 0, 7)
+	b := EdgeDisjointSpanningTrees(ps.G, 0, 0, 7)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic tree count")
+	}
+	for i := range a {
+		for v := range a[i].Parent {
+			if a[i].Parent[v] != b[i].Parent[v] {
+				t.Fatal("non-deterministic tree shape")
+			}
+		}
+	}
+}

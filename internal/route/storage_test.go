@@ -1,0 +1,55 @@
+package route
+
+import (
+	"testing"
+
+	"polarstar/internal/topo"
+)
+
+func TestStorageComparison(t *testing.T) {
+	ps := topo.MustNewPolarStar(5, 4, topo.KindIQ) // 310 routers
+	r := NewPolarStar(ps)
+	tab := NewTable(ps.G, MultiPath)
+	cmp := CompareState(r, tab)
+	if cmp.Routers != 310 {
+		t.Fatalf("routers = %d", cmp.Routers)
+	}
+	// The analytic router's state must be much smaller than the network
+	// size would suggest: O(q²+d'²) vs O(n) per router for tables.
+	if cmp.AnalyticPerRouter <= 0 {
+		t.Fatal("analytic state non-positive")
+	}
+	if cmp.AllMinpathPerRouter < int64(cmp.Routers)-1 {
+		t.Errorf("all-minpath entries per router = %d, want >= n-1", cmp.AllMinpathPerRouter)
+	}
+	// Next-hop entries must be at least one per (router, destination).
+	if cmp.AllMinpathEntries < int64(cmp.Routers)*int64(cmp.Routers-1) {
+		t.Errorf("total entries = %d below the 1-per-pair floor", cmp.AllMinpathEntries)
+	}
+	// Table distance state grows quadratically with the network; the
+	// analytic state does not grow with the product order at all for
+	// fixed factors. Cross-check with a larger product: same supernode,
+	// bigger structure graph.
+	big := topo.MustNewPolarStar(9, 4, topo.KindIQ) // 910 routers
+	rBig := NewPolarStar(big)
+	if rBig.PerRouterStateBytes() >= int64(big.G.N())*int64(big.G.N())/8 {
+		t.Errorf("analytic state %d not far below table state %d",
+			rBig.PerRouterStateBytes(), big.G.N()*big.G.N())
+	}
+}
+
+func TestNextHopEntriesOnCycle(t *testing.T) {
+	// C_5: every pair has a unique minimal next hop except... on an odd
+	// cycle all shortest paths are unique: entries = n(n-1).
+	b := newCycleBuilder(5)
+	tab := NewTable(b, MultiPath)
+	if got := tab.NextHopEntries(); got != 20 {
+		t.Errorf("C5 next-hop entries = %d, want 20", got)
+	}
+	// C_4: opposite vertices have two minimal next hops: per router 1+2+1.
+	b4 := newCycleBuilder(4)
+	tab4 := NewTable(b4, MultiPath)
+	if got := tab4.NextHopEntries(); got != 16 {
+		t.Errorf("C4 next-hop entries = %d, want 16", got)
+	}
+}

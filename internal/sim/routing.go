@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math/rand"
+
+	"polarstar/internal/route"
+)
+
+// Min adapts a minimal routing engine to the simulator (§9.3 "MIN").
+type Min struct {
+	Engine route.Engine
+	// Hops bounds minimal path lengths (diameter; 4 for the indirect
+	// fat-tree/Megafly leaf-to-leaf paths).
+	Hops int
+}
+
+// Path implements Routing.
+func (m Min) Path(src, dst int, _ OccFn, rng *rand.Rand) []int {
+	return m.Engine.Route(src, dst, rng)
+}
+
+// MaxHops implements Routing.
+func (m Min) MaxHops() int { return m.Hops }
+
+// UGAL is load-balancing adaptive routing (§9.3): per packet it compares
+// the minimal path against Samples random Valiant paths, scoring each
+// candidate by (queue occupancy) × (path hops), and picks the best.
+// Intermediates are drawn from Mids (all routers for direct topologies,
+// leaf routers for indirect ones).
+//
+// Two congestion estimates are supported: UGAL-L (the paper's §9.3
+// configuration) uses only the source router's local first-hop queue;
+// UGAL-G (ablation) uses the maximum queue along the whole candidate
+// path — an idealized global-information router.
+type UGAL struct {
+	Min     route.Engine
+	Mids    []int // candidate intermediate routers (nil: all 0..N-1)
+	N       int   // router count
+	Samples int   // Valiant samples per packet (paper: 4)
+	Hops    int   // max hops of a Valiant path (2× minimal diameter)
+	PktSize int   // flits per packet, for the zero-queue tie-break
+	Global  bool  // UGAL-G: score with the max queue along the path
+}
+
+// Path implements Routing.
+func (u UGAL) Path(src, dst int, occ OccFn, rng *rand.Rand) []int {
+	best := u.Min.Route(src, dst, rng)
+	bestScore := u.score(best, occ)
+	for s := 0; s < u.Samples; s++ {
+		var mid int
+		if u.Mids != nil {
+			mid = u.Mids[rng.Intn(len(u.Mids))]
+		} else {
+			mid = rng.Intn(u.N)
+		}
+		if mid == src || mid == dst {
+			continue
+		}
+		a := u.Min.Route(src, mid, rng)
+		b := u.Min.Route(mid, dst, rng)
+		if len(a) == 0 || len(b) == 0 {
+			continue
+		}
+		cand := append(append(make([]int, 0, len(a)+len(b)-1), a...), b[1:]...)
+		if sc := u.score(cand, occ); sc < bestScore {
+			best, bestScore = cand, sc
+		}
+	}
+	return best
+}
+
+// score is (queue occupancy + one packet) × hop count: the packet's own
+// serialization provides the minimal-path bias at zero load. UGAL-L
+// reads the first hop's queue; UGAL-G the maximum along the path.
+func (u UGAL) score(path []int, occ OccFn) int {
+	if len(path) < 2 {
+		return 0
+	}
+	hops := len(path) - 1
+	q := occ(path[0], path[1])
+	if u.Global {
+		for i := 1; i+1 < len(path); i++ {
+			if o := occ(path[i], path[i+1]); o > q {
+				q = o
+			}
+		}
+	}
+	return (q + u.PktSize) * hops
+}
+
+// MaxHops implements Routing.
+func (u UGAL) MaxHops() int { return u.Hops }

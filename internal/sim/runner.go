@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// RoutingMode selects MIN or UGAL for a sweep.
+type RoutingMode int
+
+const (
+	// MIN is minimal routing (§9.3).
+	MIN RoutingMode = iota
+	// UGALMode is load-balancing adaptive routing with local congestion
+	// information, UGAL-L (§9.3).
+	UGALMode
+	// UGALGMode is the idealized global-information UGAL-G variant
+	// (ablation only).
+	UGALGMode
+)
+
+func (m RoutingMode) String() string {
+	switch m {
+	case UGALMode:
+		return "UGAL"
+	case UGALGMode:
+		return "UGAL-G"
+	}
+	return "MIN"
+}
+
+// SweepResult is a latency-load curve for one (topology, routing,
+// pattern) combination.
+type SweepResult struct {
+	Spec    string
+	Routing RoutingMode
+	Pattern string
+	Points  []Result
+}
+
+// SaturationLoad returns the highest offered load that remained stable,
+// or 0 when every point saturated.
+func (s SweepResult) SaturationLoad() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if !p.Saturated && p.Load > best {
+			best = p.Load
+		}
+	}
+	return best
+}
+
+// Sweep runs the latency-load experiment: one independent simulation per
+// offered load, in parallel. Loads are fractions of the peak injection
+// bandwidth (flits/endpoint/cycle).
+func Sweep(spec *Spec, mode RoutingMode, patternName string, loads []float64, params Params) (SweepResult, error) {
+	res := SweepResult{Spec: spec.Name, Routing: mode, Pattern: patternName, Points: make([]Result, len(loads))}
+	var firstErr error
+	var mu sync.Mutex
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(loads) {
+		workers = len(loads)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := range loads {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := params
+				p.Seed = params.Seed + int64(i)*7919
+				pattern, err := spec.Pattern(patternName, p.Seed)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				var routing Routing
+				switch mode {
+				case UGALMode:
+					routing = spec.UGALRouting(p.PacketFlits)
+				case UGALGMode:
+					routing = spec.UGALGRouting(p.PacketFlits)
+				default:
+					routing = spec.MinRouting()
+				}
+				eng := NewEngine(p, spec.Graph, spec.Config(), routing, pattern)
+				res.Points[i] = eng.Run(loads[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return res, firstErr
+}
+
+// WriteSweep renders a sweep as an aligned text table.
+func WriteSweep(w io.Writer, s SweepResult) {
+	fmt.Fprintf(w, "# %s %s %s\n", s.Spec, s.Routing, s.Pattern)
+	fmt.Fprintf(w, "%-8s %-12s %-12s %-10s %-10s\n", "load", "avg-lat", "throughput", "delivered", "saturated")
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "%-8.3f %-12.2f %-12.4f %-10.3f %-10v\n",
+			p.Load, p.AvgLatency, p.Throughput, p.DeliveredFrac, p.Saturated)
+	}
+}
+
+// DefaultLoads is the standard offered-load ladder of the latency-load
+// figures.
+var DefaultLoads = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}

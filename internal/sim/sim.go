@@ -1,0 +1,571 @@
+// Package sim is the cycle-level interconnect simulator used for the
+// synthetic-traffic evaluation (§9): the substitute for BookSim.
+//
+// Model: input-queued routers with per-channel virtual-channel buffers,
+// credit-based backpressure, virtual cut-through switching of fixed-size
+// packets (4 flits, §9.4), per-cycle output arbitration with round-robin
+// fairness, and per-endpoint injection/ejection channels. Deadlock
+// freedom is structural: VC indices strictly increase along every
+// packet's path (the allocator picks the least-loaded eligible VC while
+// reserving headroom for the remaining hops), so the channel/VC
+// dependency graph is acyclic. The VC count is MaxHops+1 — exactly the
+// paper's 4 VCs for minimal routing on a diameter-3 topology.
+//
+// Simulations are deterministic for a given seed and single-threaded;
+// load sweeps parallelize across simulator instances.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"polarstar/internal/graph"
+	"polarstar/internal/traffic"
+)
+
+// MaxPathNodes bounds the router path length of a packet (Valiant paths
+// on indirect topologies reach 9 nodes).
+const MaxPathNodes = 12
+
+// Params configures a simulation run.
+type Params struct {
+	PacketFlits   int   // flits per packet (paper: 4)
+	BufFlitsPerVC int   // input buffer capacity per VC in flits (paper: 128/4 = 32)
+	LinkLatency   int   // link traversal latency in cycles
+	Warmup        int   // warmup cycles before measurement
+	Measure       int   // measurement window in cycles
+	Drain         int   // extra cycles to drain measured packets
+	Seed          int64 // RNG seed
+}
+
+// DefaultParams mirrors the §9.4 configuration.
+func DefaultParams(seed int64) Params {
+	return Params{
+		PacketFlits:   4,
+		BufFlitsPerVC: 32,
+		LinkLatency:   1,
+		Warmup:        5000,
+		Measure:       10000,
+		Drain:         15000,
+		Seed:          seed,
+	}
+}
+
+// Routing chooses a router path for each packet at injection time.
+type Routing interface {
+	// Path returns the router path (src..dst inclusive) for a packet.
+	// occ exposes the local channel occupancy for adaptive decisions.
+	Path(src, dst int, occ OccFn, rng *rand.Rand) []int
+	// MaxHops bounds the number of links of any returned path; it sizes
+	// the VC array.
+	MaxHops() int
+}
+
+// OccFn reports the queued flits on the directed channel u→v (summed
+// over VCs).
+type OccFn func(u, v int) int
+
+type packet struct {
+	path    [MaxPathNodes]int32
+	nPath   int8
+	hop     int8
+	gen     int64
+	dstEP   int32
+	measure bool
+}
+
+type pktQueue struct {
+	buf  []packet
+	head int
+}
+
+func (q *pktQueue) empty() bool    { return q.head >= len(q.buf) }
+func (q *pktQueue) len() int       { return len(q.buf) - q.head }
+func (q *pktQueue) front() *packet { return &q.buf[q.head] }
+
+func (q *pktQueue) push(p packet) { q.buf = append(q.buf, p) }
+
+func (q *pktQueue) pop() {
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
+
+type inflight struct {
+	pkt  packet
+	unit int32 // destination queue unit
+}
+
+// Engine is one simulator instance bound to a topology, routing and
+// traffic pattern.
+type Engine struct {
+	p       Params
+	g       *graph.Graph
+	routing Routing
+	pattern traffic.Pattern
+	cfg     traffic.Config
+	vcs     int
+
+	// Channels: directed edges, indexed per router in neighbor order.
+	chanOf  [][]int32 // chanOf[r][k]: channel id of r → k-th neighbor
+	chanDst []int32   // channel id -> destination router
+	busy    []int64   // channel id -> busy-until cycle
+	occ     []int32   // (channel id * vcs + vc) -> queued+reserved flits
+
+	// Queues ("units"): per channel per VC input queues at the channel's
+	// destination router, plus one injection queue per endpoint.
+	queues   []pktQueue
+	injBase  int     // unit id of endpoint 0's injection queue
+	unitHome []int32 // unit -> router owning the queue
+
+	// Per-router active unit lists with lazy deletion.
+	active   [][]int32
+	inActive []bool // unit -> whether listed in active
+
+	ejBusy  []int64 // endpoint -> ejection-channel busy-until
+	injBusy []int64 // endpoint -> injection serialization
+
+	arrivals [][]inflight // ring buffer by cycle
+	now      int64
+	rng      *rand.Rand
+
+	// Generation calendar: a binary min-heap of (cycle<<24 | endpoint)
+	// events, equivalent to per-cycle Bernoulli draws but skipping idle
+	// endpoints (geometric gaps).
+	genHeap []int64
+	logQ    float64 // ln(1 - pktProb), < 0
+
+	backlogMeasEnd int // injection-queue backlog when measurement ended
+
+	// Metrics.
+	deliveredAll   int64
+	deliveredMeas  int64
+	generatedMeas  int64
+	latencySumMeas int64
+	latencyMax     int64
+	injectedFlits  int64 // measured-window flit deliveries for throughput
+}
+
+// NewEngine builds a simulator for graph g with the endpoint arrangement
+// described by cfg.
+func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routing, pattern traffic.Pattern) *Engine {
+	cfg.Routers = g.N()
+	// One VC per possible link index plus one spare: the spare gives the
+	// strictly-increasing VC allocator room to spread load. For MIN
+	// routing on a diameter-3 topology this is exactly the paper's 4 VCs.
+	e := &Engine{
+		p:       params,
+		g:       g,
+		routing: routing,
+		pattern: pattern,
+		cfg:     cfg,
+		vcs:     routing.MaxHops() + 1,
+		rng:     rand.New(rand.NewSource(params.Seed)),
+	}
+	if e.vcs < 1 {
+		e.vcs = 1
+	}
+	n := g.N()
+	e.chanOf = make([][]int32, n)
+	nextChan := int32(0)
+	for r := 0; r < n; r++ {
+		nb := g.Neighbors(r)
+		row := make([]int32, len(nb))
+		for k := range nb {
+			row[k] = nextChan
+			nextChan++
+		}
+		e.chanOf[r] = row
+	}
+	e.chanDst = make([]int32, nextChan)
+	for r := 0; r < n; r++ {
+		nb := g.Neighbors(r)
+		for k, w := range nb {
+			e.chanDst[e.chanOf[r][k]] = w
+		}
+	}
+	e.busy = make([]int64, nextChan)
+	e.occ = make([]int32, int(nextChan)*e.vcs)
+
+	numChanUnits := int(nextChan) * e.vcs
+	e.injBase = numChanUnits
+	e.queues = make([]pktQueue, numChanUnits+e.cfg.Endpoints())
+	e.unitHome = make([]int32, len(e.queues))
+	for c := int32(0); c < nextChan; c++ {
+		for vc := 0; vc < e.vcs; vc++ {
+			e.unitHome[int(c)*e.vcs+vc] = e.chanDst[c]
+		}
+	}
+	for ep := 0; ep < e.cfg.Endpoints(); ep++ {
+		e.unitHome[e.injBase+ep] = int32(e.cfg.RouterOf(ep))
+	}
+	e.active = make([][]int32, n)
+	e.inActive = make([]bool, len(e.queues))
+	e.ejBusy = make([]int64, e.cfg.Endpoints())
+	e.injBusy = make([]int64, e.cfg.Endpoints())
+	ringLen := params.PacketFlits + params.LinkLatency + 2
+	e.arrivals = make([][]inflight, ringLen)
+	return e
+}
+
+// chanTo returns the channel id r → next, or -1 when not adjacent.
+func (e *Engine) chanTo(r, next int) int32 {
+	nb := e.g.Neighbors(r)
+	lo, hi := 0, len(nb)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nb[mid] < int32(next) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nb) && nb[lo] == int32(next) {
+		return e.chanOf[r][lo]
+	}
+	return -1
+}
+
+// Occupancy implements OccFn over all VCs of channel u→v.
+func (e *Engine) Occupancy(u, v int) int {
+	c := e.chanTo(u, v)
+	if c < 0 {
+		return 0
+	}
+	s := int32(0)
+	for vc := 0; vc < e.vcs; vc++ {
+		s += e.occ[int(c)*e.vcs+vc]
+	}
+	return int(s)
+}
+
+func (e *Engine) markActive(unit int32) {
+	if !e.inActive[unit] {
+		e.inActive[unit] = true
+		r := e.unitHome[unit]
+		e.active[r] = append(e.active[r], unit)
+	}
+}
+
+// Run simulates a full warmup+measure+drain experiment at the offered
+// load (flits per endpoint per cycle) and returns the metrics. An Engine
+// is single-use: build a fresh one per run.
+func (e *Engine) Run(load float64) Result {
+	if e.now != 0 {
+		panic("sim: Engine.Run called twice; engines are single-use")
+	}
+	total := int64(e.p.Warmup + e.p.Measure + e.p.Drain)
+	S := int64(e.p.PacketFlits)
+	ringLen := int64(len(e.arrivals))
+	e.initGeneration(load / float64(e.p.PacketFlits))
+	for e.now = 0; e.now < total; e.now++ {
+		t := e.now
+		// 1. Deliver in-flight packets arriving this cycle.
+		slot := t % ringLen
+		for _, a := range e.arrivals[slot] {
+			q := &e.queues[a.unit]
+			q.push(a.pkt)
+			e.markActive(a.unit)
+		}
+		e.arrivals[slot] = e.arrivals[slot][:0]
+
+		// 2. Generate new packets (stops at drain start so the network
+		// can empty; enforced by the calendar horizon).
+		e.generate(t)
+
+		// 3. Arbitrate per router.
+		for r := 0; r < e.g.N(); r++ {
+			units := e.active[r]
+			if len(units) == 0 {
+				continue
+			}
+			kept := units[:0]
+			// Round-robin: rotate by cycle to avoid static priority.
+			off := int(t) % len(units)
+			for i := 0; i < len(units); i++ {
+				unit := units[(i+off)%len(units)]
+				q := &e.queues[unit]
+				if q.empty() {
+					e.inActive[unit] = false
+					continue
+				}
+				e.tryForward(r, unit, q, S)
+				if q.empty() {
+					e.inActive[unit] = false
+				}
+			}
+			// Rebuild the active list without emptied units (preserving
+			// original order for fairness stability).
+			for _, unit := range units {
+				if e.inActive[unit] {
+					kept = append(kept, unit)
+				}
+			}
+			e.active[r] = kept
+		}
+		if t == int64(e.p.Warmup+e.p.Measure)-1 {
+			// Source backlog only: packets still waiting in injection
+			// queues (in-flight packets are not backlog).
+			for i := e.injBase; i < len(e.queues); i++ {
+				e.backlogMeasEnd += e.queues[i].len()
+			}
+		}
+	}
+	return e.result(load)
+}
+
+// heapPush/heapPop implement a binary min-heap over packed
+// (cycle<<24 | endpoint) events.
+func (e *Engine) heapPush(v int64) {
+	h := append(e.genHeap, v)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	e.genHeap = h
+}
+
+func (e *Engine) heapPop() int64 {
+	h := e.genHeap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l] < h[small] {
+			small = l
+		}
+		if r < len(h) && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	e.genHeap = h
+	return top
+}
+
+// geoGap draws the geometric inter-generation gap (>= 1 cycle).
+func (e *Engine) geoGap() int64 {
+	if e.logQ >= 0 {
+		return 1 // pktProb >= 1: generate every cycle
+	}
+	u := e.rng.Float64()
+	for u == 0 {
+		u = e.rng.Float64()
+	}
+	g := int64(math.Log(u)/e.logQ) + 1
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// initGeneration seeds the calendar so that each endpoint generates with
+// probability pktProb in every cycle (first event at geoGap-1).
+func (e *Engine) initGeneration(pktProb float64) {
+	if pktProb <= 0 {
+		return
+	}
+	if pktProb < 1 {
+		e.logQ = math.Log(1 - pktProb)
+	}
+	for ep := 0; ep < e.cfg.Endpoints(); ep++ {
+		e.heapPush((e.geoGap()-1)<<24 | int64(ep))
+	}
+}
+
+// generate pops every endpoint scheduled to emit a packet this cycle.
+func (e *Engine) generate(t int64) {
+	horizon := int64(e.p.Warmup + e.p.Measure)
+	for len(e.genHeap) > 0 && e.genHeap[0]>>24 <= t {
+		ep := int(e.heapPop() & 0xffffff)
+		if next := t + e.geoGap(); next < horizon {
+			e.heapPush(next<<24 | int64(ep))
+		}
+		dst := e.pattern.Dest(ep, e.rng)
+		if dst < 0 {
+			continue
+		}
+		srcR, dstR := e.cfg.RouterOf(ep), e.cfg.RouterOf(dst)
+		var pkt packet
+		pkt.gen = t
+		pkt.dstEP = int32(dst)
+		pkt.measure = t >= int64(e.p.Warmup) && t < int64(e.p.Warmup+e.p.Measure)
+		if srcR == dstR {
+			pkt.path[0] = int32(srcR)
+			pkt.nPath = 1
+		} else {
+			path := e.routing.Path(srcR, dstR, e.Occupancy, e.rng)
+			if len(path) == 0 {
+				// Unroutable (degraded topologies): the packet is lost.
+				// It still counts as generated, so DeliveredFrac reflects
+				// the loss.
+				if pkt.measure {
+					e.generatedMeas++
+				}
+				continue
+			}
+			if len(path) > MaxPathNodes {
+				panic(fmt.Sprintf("sim: path of %d nodes exceeds MaxPathNodes", len(path)))
+			}
+			for i, v := range path {
+				pkt.path[i] = int32(v)
+			}
+			pkt.nPath = int8(len(path))
+		}
+		if pkt.measure {
+			e.generatedMeas++
+		}
+		unit := int32(e.injBase + ep)
+		e.queues[unit].push(pkt)
+		e.markActive(unit)
+	}
+}
+
+// tryForward attempts to advance the head packet of a unit queue at
+// router r: at most one packet per input unit per cycle; one grant per
+// output resource per cycle is enforced by the busy timestamps.
+func (e *Engine) tryForward(r int, unit int32, q *pktQueue, S int64) {
+	{
+		pkt := q.front()
+		// Injection serialization: a packet leaves its endpoint at most
+		// every S cycles.
+		if int(unit) >= e.injBase {
+			ep := int(unit) - e.injBase
+			if e.injBusy[ep] > e.now {
+				return
+			}
+		}
+		atDst := int(pkt.hop) == int(pkt.nPath)-1
+		if atDst {
+			// Ejection to the destination endpoint.
+			ep := pkt.dstEP
+			if e.ejBusy[ep] > e.now {
+				return
+			}
+			e.ejBusy[ep] = e.now + S
+			e.deliver(pkt, e.now+S)
+			e.release(unit, S)
+			q.pop()
+			return
+		}
+		next := int(pkt.path[pkt.hop+1])
+		c := e.chanTo(r, next)
+		if c < 0 {
+			panic("sim: packet path uses a non-edge")
+		}
+		if e.busy[c] > e.now {
+			return
+		}
+		// VC allocation: each hop must use a VC strictly greater than the
+		// packet's current one (injection starts below VC 0), so VC
+		// indices strictly increase along every path and the channel/VC
+		// dependency graph stays acyclic — while still letting packets
+		// spread over the free VCs to reduce head-of-line blocking.
+		// Pick the eligible VC with the most free credits.
+		minVC := 0
+		if int(unit) < e.injBase {
+			minVC = int(unit)%e.vcs + 1
+		}
+		// Leave VC headroom for the links after this one: choosing too
+		// high a VC now would strand the packet later.
+		remaining := int(pkt.nPath) - 2 - int(pkt.hop)
+		maxVC := e.vcs - 1 - remaining
+		if minVC > maxVC {
+			panic("sim: path longer than VC count")
+		}
+		slotIdx, bestFree := -1, 0
+		for vc := minVC; vc <= maxVC; vc++ {
+			idx := int(c)*e.vcs + vc
+			if free := e.p.BufFlitsPerVC - int(e.occ[idx]); free >= int(S) && free > bestFree {
+				slotIdx, bestFree = idx, free
+			}
+		}
+		if slotIdx < 0 {
+			return // no credits downstream on any eligible VC
+		}
+		// Grant.
+		e.occ[slotIdx] += int32(S)
+		e.busy[c] = e.now + S
+		if int(unit) >= e.injBase {
+			e.injBusy[int(unit)-e.injBase] = e.now + S
+		}
+		fwd := *pkt
+		fwd.hop++
+		arrive := (e.now + S + int64(e.p.LinkLatency)) % int64(len(e.arrivals))
+		e.arrivals[arrive] = append(e.arrivals[arrive], inflight{pkt: fwd, unit: int32(slotIdx)})
+		e.release(unit, S)
+		q.pop()
+	}
+}
+
+// release frees the upstream buffer credit when a packet leaves a channel
+// queue (injection queues are unbounded and hold no credits).
+func (e *Engine) release(unit int32, S int64) {
+	if int(unit) < e.injBase {
+		e.occ[unit] -= int32(S)
+	}
+}
+
+func (e *Engine) deliver(pkt *packet, at int64) {
+	e.deliveredAll++
+	if pkt.measure {
+		e.deliveredMeas++
+		lat := at - pkt.gen
+		e.latencySumMeas += lat
+		if lat > e.latencyMax {
+			e.latencyMax = lat
+		}
+		e.injectedFlits += int64(e.p.PacketFlits)
+	}
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Load             float64
+	AvgLatency       float64 // cycles, measured packets
+	MaxLatency       int64
+	DeliveredFrac    float64 // measured packets delivered before the horizon
+	Throughput       float64 // delivered flits / endpoint / cycle (accepted load)
+	Backlog          int     // packets still queued at the horizon
+	BacklogAtMeasEnd int     // packets queued when measurement ended
+	Saturated        bool
+}
+
+func (e *Engine) result(load float64) Result {
+	res := Result{Load: load}
+	if e.deliveredMeas > 0 {
+		res.AvgLatency = float64(e.latencySumMeas) / float64(e.deliveredMeas)
+		res.MaxLatency = e.latencyMax
+	}
+	if e.generatedMeas > 0 {
+		res.DeliveredFrac = float64(e.deliveredMeas) / float64(e.generatedMeas)
+	}
+	res.Throughput = float64(e.injectedFlits) / float64(e.cfg.Endpoints()) / float64(e.p.Measure)
+	for i := range e.queues {
+		res.Backlog += e.queues[i].len()
+	}
+	res.BacklogAtMeasEnd = e.backlogMeasEnd
+	// Saturation: measured packets left undelivered, or source queues
+	// holding several packets per endpoint on average when measurement
+	// ended — offered load exceeding accepted load. (A backlog of a
+	// couple of packets is ordinary pre-saturation queueing.)
+	res.Saturated = res.DeliveredFrac < 0.99 || res.BacklogAtMeasEnd > 3*e.cfg.Endpoints()
+	return res
+}

@@ -1,0 +1,27 @@
+package sim
+
+import "testing"
+
+// BenchmarkSimCyclePSIQSmall measures whole simulated runs of the small
+// PolarStar at moderate load (throughput of the simulator itself).
+func BenchmarkSimRunPSIQSmall(b *testing.B) {
+	spec := MustNewSpec("ps-iq-small")
+	p := DefaultParams(1)
+	p.Warmup, p.Measure, p.Drain = 500, 1000, 1500
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i)
+		pattern, _ := spec.Pattern("uniform", p.Seed)
+		eng := NewEngine(p, spec.Graph, spec.Config(), spec.MinRouting(), pattern)
+		eng.Run(0.4)
+	}
+}
+
+func BenchmarkSpecConstruction(b *testing.B) {
+	for _, name := range []string{"ps-iq-small", "df-small", "ft-small"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MustNewSpec(name)
+			}
+		})
+	}
+}

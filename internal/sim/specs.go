@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"fmt"
+
+	"polarstar/internal/graph"
+	"polarstar/internal/route"
+	"polarstar/internal/topo"
+	"polarstar/internal/traffic"
+)
+
+// Spec bundles everything the experiment harness needs to simulate one
+// topology: the switch graph, endpoint arrangement, grouping, minimal
+// routing engine and path-length bounds.
+type Spec struct {
+	Name      string
+	Graph     *graph.Graph
+	PerRouter int   // endpoints per hosting switch
+	Hosts     []int // endpoint-hosting switches (nil: all)
+	NumGroups int
+	GroupOf   func(int) int
+	MinEngine route.Engine
+	MinHops   int   // max hops of a minimal path between hosts
+	UGALMids  []int // Valiant intermediates (nil: all switches)
+}
+
+// Config returns the endpoint arrangement of the spec.
+func (s *Spec) Config() traffic.Config {
+	return traffic.Config{Routers: s.Graph.N(), PerRouter: s.PerRouter, Hosts: s.Hosts}
+}
+
+// Endpoints returns the endpoint count.
+func (s *Spec) Endpoints() int { return s.Config().Endpoints() }
+
+// Pattern builds a named traffic pattern for this spec.
+func (s *Spec) Pattern(name string, seed int64) (traffic.Pattern, error) {
+	return traffic.ByName(name, s.Config(), s.NumGroups, s.GroupOf, s.MinEngine.Dist, seed)
+}
+
+// MinRouting returns the §9.3 MIN routing adapter.
+func (s *Spec) MinRouting() Routing {
+	return Min{Engine: s.MinEngine, Hops: s.MinHops}
+}
+
+// UGALRouting returns the §9.3 UGAL-L adapter with the paper's 4 sampled
+// Valiant intermediates.
+func (s *Spec) UGALRouting(pktFlits int) Routing {
+	return UGAL{
+		Min:     s.MinEngine,
+		Mids:    s.UGALMids,
+		N:       s.Graph.N(),
+		Samples: 4,
+		Hops:    2 * s.MinHops,
+		PktSize: pktFlits,
+	}
+}
+
+// UGALGRouting returns the idealized global-information UGAL-G variant
+// (ablation; not a paper configuration).
+func (s *Spec) UGALGRouting(pktFlits int) Routing {
+	u := s.UGALRouting(pktFlits).(UGAL)
+	u.Global = true
+	return u
+}
+
+// Table3Names lists the §9.1 simulated configurations.
+var Table3Names = []string{"ps-iq", "ps-pal", "bf", "hx", "df", "sf", "mf", "ft"}
+
+// NewSpec constructs a named topology spec. The Table 3 configurations
+// ("ps-iq", "ps-pal", "bf", "hx", "df", "sf", "mf", "ft") use the paper's
+// parameters; the "-small" variants are scaled-down versions of the same
+// construction for fast tests and default benchmarks.
+func NewSpec(name string) (*Spec, error) {
+	switch name {
+	case "ps-iq": // 1064 routers, radix 15, p=5
+		return polarStarSpec(name, 11, 3, topo.KindIQ, 5)
+	case "ps-iq-small":
+		return polarStarSpec(name, 5, 4, topo.KindIQ, 3)
+	case "ps-pal": // q=8, d'=6: 949 routers (see EXPERIMENTS.md E6 note)
+		return polarStarSpec(name, 8, 6, topo.KindPaley, 5)
+	case "ps-pal-small":
+		return polarStarSpec(name, 5, 4, topo.KindPaley, 3)
+	case "bf": // 882 routers, radix 15, p=5
+		return bundleflySpec(name, 7, 4, 5)
+	case "bf-small":
+		return bundleflySpec(name, 5, 2, 3)
+	case "hx": // 648 routers, radix 23, p=8
+		return hyperXSpec(name, []int{9, 9, 8}, 8)
+	case "hx-small":
+		return hyperXSpec(name, []int{4, 4, 4}, 3)
+	case "df": // 876 routers, radix 17, p=6
+		return dragonflySpec(name, 12, 6, 6)
+	case "df-small":
+		return dragonflySpec(name, 6, 3, 3)
+	case "sf": // LPS(23,13): 1092 routers, radix 24, p=8
+		return lpsSpec(name, 23, 13, 8)
+	case "sf-small": // PGL(2,5): 120 routers, radix 14
+		return lpsSpec(name, 13, 5, 3)
+	case "mf": // 1040 routers, radix 16, p=8 on leaves
+		return megaflySpec(name, 8, 16, 8)
+	case "mf-small":
+		return megaflySpec(name, 3, 6, 3)
+	case "ft": // 972 routers, radix 36, p=18 on leaves
+		return fatTreeSpec(name, 18)
+	case "ft-small":
+		return fatTreeSpec(name, 5)
+	case "pf": // PolarFly: diameter-2 ER_31 network (992 routers, radix 32)
+		return polarFlySpec(name, 31, 10)
+	case "pf-small":
+		return polarFlySpec(name, 7, 3)
+	case "slimfly": // SlimFly: diameter-2 MMS(19) network (722 routers, radix 29)
+		return slimFlySpec(name, 19, 9)
+	case "slimfly-small":
+		return slimFlySpec(name, 5, 2)
+	}
+	return nil, fmt.Errorf("sim: unknown spec %q", name)
+}
+
+// MustNewSpec is NewSpec but panics on error.
+func MustNewSpec(name string) *Spec {
+	s, err := NewSpec(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Degraded returns a copy of the spec running on a graph with the given
+// links removed, re-routed with an all-pairs table (the analytic routers
+// assume the intact topology). Endpoints on disconnected routers keep
+// injecting; their packets are the casualties the experiment measures,
+// so callers should remove few enough links to keep hosts connected —
+// or accept DeliveredFrac < 1.
+func (s *Spec) Degraded(removed [][2]int) *Spec {
+	g := s.Graph.RemoveEdges(removed)
+	d := int(g.Diameter())
+	if d < 0 {
+		d = s.MinHops * 3 // disconnected: bound paths loosely
+	}
+	return &Spec{
+		Name:      s.Name + "-degraded",
+		Graph:     g,
+		PerRouter: s.PerRouter,
+		Hosts:     s.Hosts,
+		NumGroups: s.NumGroups,
+		GroupOf:   s.GroupOf,
+		MinEngine: route.NewTable(g, route.MultiPath),
+		MinHops:   d,
+		UGALMids:  s.UGALMids,
+	}
+}
+
+func polarStarSpec(name string, q, dPrime int, kind topo.SupernodeKind, p int) (*Spec, error) {
+	ps, err := topo.NewPolarStar(q, dPrime, kind)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:      name,
+		Graph:     ps.G,
+		PerRouter: p,
+		NumGroups: ps.NumGroups(),
+		GroupOf:   ps.GroupOf,
+		MinEngine: route.NewPolarStar(ps),
+		MinHops:   3,
+	}, nil
+}
+
+func bundleflySpec(name string, q, dPrime, p int) (*Spec, error) {
+	bf, err := topo.NewBundlefly(q, dPrime)
+	if err != nil {
+		return nil, err
+	}
+	// §9.3: Bundlefly stores all minpaths in routing tables.
+	return &Spec{
+		Name:      name,
+		Graph:     bf.G,
+		PerRouter: p,
+		NumGroups: bf.NumGroups(),
+		GroupOf:   bf.GroupOf,
+		MinEngine: route.NewTable(bf.G, route.MultiPath),
+		MinHops:   3,
+	}, nil
+}
+
+func hyperXSpec(name string, dims []int, p int) (*Spec, error) {
+	hx, err := topo.NewHyperX(dims...)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:      name,
+		Graph:     hx.G,
+		PerRouter: p,
+		NumGroups: hx.NumGroups(),
+		GroupOf:   hx.GroupOf,
+		MinEngine: route.NewHyperX(hx),
+		MinHops:   len(dims),
+	}, nil
+}
+
+func dragonflySpec(name string, a, h, p int) (*Spec, error) {
+	df, err := topo.NewDragonfly(a, h)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:      name,
+		Graph:     df.G,
+		PerRouter: p,
+		NumGroups: df.NumGroups(),
+		GroupOf:   df.GroupOf,
+		MinEngine: route.NewDragonfly(df),
+		MinHops:   3,
+	}, nil
+}
+
+func lpsSpec(name string, pp, q, p int) (*Spec, error) {
+	l, err := topo.NewLPS(pp, q)
+	if err != nil {
+		return nil, err
+	}
+	// §9.3: Spectralfly stores all minpaths in routing tables.
+	d := int(l.G.Diameter())
+	return &Spec{
+		Name:      name,
+		Graph:     l.G,
+		PerRouter: p,
+		NumGroups: l.G.N(),
+		GroupOf:   func(v int) int { return v },
+		MinEngine: route.NewTable(l.G, route.MultiPath),
+		MinHops:   d,
+	}, nil
+}
+
+func megaflySpec(name string, rho, a, p int) (*Spec, error) {
+	mf, err := topo.NewMegafly(rho, a)
+	if err != nil {
+		return nil, err
+	}
+	leaves := mf.LeafRouters()
+	return &Spec{
+		Name:      name,
+		Graph:     mf.G,
+		PerRouter: p,
+		Hosts:     leaves,
+		NumGroups: mf.NumGroups(),
+		GroupOf:   mf.GroupOf,
+		MinEngine: route.NewMegafly(mf),
+		MinHops:   4,
+		UGALMids:  leaves,
+	}, nil
+}
+
+// polarFlySpec builds the diameter-2 PolarFly network (the ER_q graph
+// used directly as a topology, Lakhotia et al. SC 2022) — the §2.3
+// comparison point PolarStar extends. Not part of Table 3; provided as
+// an extension for diameter-2 vs diameter-3 studies.
+func polarFlySpec(name string, q, p int) (*Spec, error) {
+	er, err := topo.NewER(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:      name,
+		Graph:     er.G,
+		PerRouter: p,
+		NumGroups: er.N(),
+		GroupOf:   func(v int) int { return v },
+		MinEngine: route.NewTable(er.G, route.MultiPath),
+		MinHops:   2,
+	}, nil
+}
+
+// slimFlySpec builds the diameter-2 SlimFly network (the MMS graph used
+// directly as a topology, Besta & Hoefler SC 2014) — like PolarFly, a
+// diameter-2 extension point rather than a Table 3 configuration.
+func slimFlySpec(name string, q, p int) (*Spec, error) {
+	mms, err := topo.NewMMS(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:      name,
+		Graph:     mms.G,
+		PerRouter: p,
+		NumGroups: mms.N(),
+		GroupOf:   func(v int) int { return v },
+		MinEngine: route.NewTable(mms.G, route.MultiPath),
+		MinHops:   2,
+	}, nil
+}
+
+func fatTreeSpec(name string, p int) (*Spec, error) {
+	ft, err := topo.NewFatTree(p)
+	if err != nil {
+		return nil, err
+	}
+	leaves := ft.LeafRouters()
+	return &Spec{
+		Name:      name,
+		Graph:     ft.G,
+		PerRouter: p,
+		Hosts:     leaves,
+		NumGroups: ft.NumGroups(),
+		GroupOf:   ft.GroupOf,
+		MinEngine: route.NewFatTree(ft),
+		MinHops:   4,
+		UGALMids:  leaves,
+	}, nil
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"polarstar/internal/route"
+	"polarstar/internal/topo"
+)
+
+// TestTable3Configurations verifies that the paper-scale specs reproduce
+// the §9.1 Table 3 rows: router counts, network radix and endpoint
+// counts (see EXPERIMENTS.md E6 for the PS-Pal 993→949 note).
+func TestTable3Configurations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := []struct {
+		name      string
+		routers   int
+		radix     int // switch-to-switch ports (max degree)
+		endpoints int
+	}{
+		{"ps-iq", 1064, 15, 5320},
+		{"ps-pal", 949, 15, 4745}, // paper prints 993/4965; see E6 note
+		{"bf", 882, 15, 4410},
+		{"hx", 648, 23, 5184},
+		{"df", 876, 17, 5256},
+		{"sf", 1092, 24, 8736},
+		{"mf", 1040, 16, 4160},
+		{"ft", 972, 36, 5832},
+	}
+	for _, c := range cases {
+		spec, err := NewSpec(c.name)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if spec.Graph.N() != c.routers {
+			t.Errorf("%s routers = %d, want %d", c.name, spec.Graph.N(), c.routers)
+		}
+		if got := spec.Graph.MaxDegree(); got > c.radix {
+			t.Errorf("%s max switch degree = %d, want <= %d", c.name, got, c.radix)
+		}
+		if spec.Endpoints() != c.endpoints {
+			t.Errorf("%s endpoints = %d, want %d", c.name, spec.Endpoints(), c.endpoints)
+		}
+	}
+	// Fat-tree radix: 2p total ports on middle routers (18 up + 18 down).
+	ft := MustNewSpec("ft")
+	if ft.Graph.MaxDegree() != 36 {
+		t.Errorf("ft max degree = %d, want 36", ft.Graph.MaxDegree())
+	}
+}
+
+func TestNewSpecUnknown(t *testing.T) {
+	if _, err := NewSpec("nope"); err == nil {
+		t.Error("unknown spec should error")
+	}
+}
+
+func TestSpecDiametersAtMost3ForDirectDiam3Topologies(t *testing.T) {
+	for _, name := range []string{"ps-iq-small", "ps-pal-small", "bf-small", "hx-small", "df-small"} {
+		spec := MustNewSpec(name)
+		if d := spec.Graph.Diameter(); d > int32(spec.MinHops) {
+			t.Errorf("%s diameter %d exceeds MinHops %d", name, d, spec.MinHops)
+		}
+	}
+}
+
+// TestDegradedSpecSimulates runs traffic on a PolarStar with 10% of its
+// links removed: an extension experiment combining the §11.2 fault model
+// with the §9 simulator. While the network stays connected, everything
+// must still be delivered (over longer paths).
+func TestDegradedSpecSimulates(t *testing.T) {
+	spec := MustNewSpec("ps-iq-small")
+	edges := spec.Graph.Edges()
+	rng := rand.New(rand.NewSource(21))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	removed := edges[:len(edges)/10]
+	deg := spec.Degraded(removed)
+	if deg.Graph.M() != spec.Graph.M()-len(removed) {
+		t.Fatalf("degraded edges = %d", deg.Graph.M())
+	}
+	if !deg.Graph.IsConnected() {
+		t.Fatal("test premise broken: degraded network disconnected")
+	}
+	p := testParams(21)
+	p.Warmup, p.Measure, p.Drain = 300, 600, 3000
+	pattern, err := deg.Pattern("uniform", 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(p, deg.Graph, deg.Config(), deg.MinRouting(), pattern)
+	res := eng.Run(0.1)
+	if res.DeliveredFrac < 0.99 {
+		t.Errorf("degraded delivery %.3f", res.DeliveredFrac)
+	}
+}
+
+// TestDiameter2ExtensionSpecs: the PolarFly and SlimFly diameter-2
+// extension specs simulate correctly.
+func TestDiameter2ExtensionSpecs(t *testing.T) {
+	for _, name := range []string{"pf-small", "slimfly-small"} {
+		spec := MustNewSpec(name)
+		if d := spec.Graph.Diameter(); d != 2 {
+			t.Errorf("%s diameter = %d, want 2", name, d)
+		}
+		p := testParams(22)
+		p.Warmup, p.Measure, p.Drain = 200, 400, 1500
+		pattern, _ := spec.Pattern("uniform", 22)
+		eng := NewEngine(p, spec.Graph, spec.Config(), spec.MinRouting(), pattern)
+		if res := eng.Run(0.1); res.DeliveredFrac < 0.99 {
+			t.Errorf("%s delivery %.3f", name, res.DeliveredFrac)
+		}
+	}
+}
+
+// TestBundleflySingleVsMultiMinpath reproduces the §9.3 observation that
+// Bundlefly benefits from all-minpath tables: under permutation traffic
+// (persistent flows) at load 0.5, per-packet multipath sampling delivers
+// lower latency than the deterministic single analytic minpath.
+func TestBundleflySingleVsMultiMinpath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bf := topo.MustNewBundlefly(5, 2)
+	mk := func(engine route.Engine, name string) *Spec {
+		return &Spec{
+			Name: name, Graph: bf.G, PerRouter: 2,
+			NumGroups: bf.NumGroups(), GroupOf: bf.GroupOf,
+			MinEngine: engine, MinHops: 3,
+		}
+	}
+	p := DefaultParams(1)
+	p.Warmup, p.Measure, p.Drain = 1500, 3000, 5000
+	lat := func(s *Spec) float64 {
+		res, err := Sweep(s, MIN, "permutation", []float64{0.5}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Points[0].AvgLatency
+	}
+	single := lat(mk(route.NewBundlefly(bf), "bf-single"))
+	multi := lat(mk(route.NewTable(bf.G, route.MultiPath), "bf-multi"))
+	if multi >= single {
+		t.Errorf("multipath latency %.1f not below single-minpath %.1f", multi, single)
+	}
+}

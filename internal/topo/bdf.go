@@ -1,0 +1,90 @@
+package topo
+
+import (
+	"fmt"
+
+	"polarstar/internal/graph"
+)
+
+// NewBDF constructs a Bermond–Delorme–Farhi-style Property R* supernode of
+// order 2·degree, available for every degree ≥ 1 (Table 2 row "BDF").
+//
+// The construction is a two-layer circulant on index set Z_m, m = degree:
+// vertices a_0..a_{m-1} and b_0..b_{m-1} with the involution f(a_i) = b_i.
+// Difference classes {±k} of Z_m are split between the two layers so that
+// every within-layer pair {i,j} has an edge on at least one layer, and
+// cross edges a_i ~ b_{i+k} are placed for half of the non-zero
+// differences so that every cross pair {a_i, b_j} (i≠j) has either the
+// edge itself or its f-image. Both conditions together give Property R*
+// with maximum degree ≤ m; the package tests verify R* exhaustively.
+func NewBDF(degree int) (*Supernode, error) {
+	if degree < 1 {
+		return nil, fmt.Errorf("topo: BDF degree must be >= 1, got %d", degree)
+	}
+	m := degree
+	n := 2 * m
+	a := func(i int) int { return i % m }
+	b := func(i int) int { return m + i%m }
+
+	gb := graph.NewBuilder(fmt.Sprintf("BDF%d", degree), n)
+
+	// Within-layer edges: difference class k (1 <= k <= m/2) goes to
+	// layer A when k is odd, layer B when k is even. Every pair {i,j}
+	// with difference class k is then covered on one layer, which —
+	// through cases (c)/(d) of Property R* — covers the same pair on the
+	// other layer too.
+	for k := 1; 2*k <= m; k++ {
+		for i := 0; i < m; i++ {
+			j := (i + k) % m
+			if k%2 == 1 {
+				gb.AddEdge(a(i), a(j))
+			} else {
+				gb.AddEdge(b(i), b(j))
+			}
+		}
+	}
+
+	// Cross edges: for each difference k in 1..ceil((m-1)/2), add
+	// a_i ~ b_{i+k}. The cross pair {a_i, b_j} with j-i = k is covered
+	// directly; the pair with j-i = m-k is covered by its f-image
+	// (f(a_i), f(b_j)) = (b_i, a_j), since a_j ~ b_{j+k'} with j+k' = i
+	// for k' = k.
+	for k := 1; 2*k <= m; k++ {
+		for i := 0; i < m; i++ {
+			gb.AddEdge(a(i), b((i+k)%m))
+		}
+	}
+
+	f := make([]int, n)
+	for i := 0; i < m; i++ {
+		f[a(i)] = b(i)
+		f[b(i)] = a(i)
+	}
+	s := &Supernode{G: gb.Build(), F: f}
+	if d := s.G.MaxDegree(); d > degree {
+		return nil, fmt.Errorf("topo: BDF%d construction overflowed degree: %d", degree, d)
+	}
+	s.validateBijection()
+	return s, nil
+}
+
+// NewCompleteSupernode returns the complete graph K_{degree+1} with the
+// identity bijection. It satisfies both Property R* and Property R1
+// trivially (Table 2 row "Complete").
+func NewCompleteSupernode(degree int) (*Supernode, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("topo: complete supernode degree must be >= 0, got %d", degree)
+	}
+	n := degree + 1
+	gb := graph.NewBuilder(fmt.Sprintf("K%d", n), n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			gb.AddEdge(i, j)
+		}
+	}
+	f := make([]int, n)
+	for i := range f {
+		f[i] = i
+	}
+	return &Supernode{G: gb.Build(), F: f}, nil
+}

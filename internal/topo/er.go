@@ -1,0 +1,164 @@
+// Package topo constructs every network topology used in the PolarStar
+// paper: the PolarStar family itself (star products of Erdős–Rényi
+// polarity graphs with Inductive-Quad or Paley supernodes) and all
+// baselines it is evaluated against (Bundlefly, SlimFly/MMS, Dragonfly,
+// HyperX, Fat-tree, Megafly, Kautz, Jellyfish, LPS Ramanujan graphs).
+//
+// All constructions are deterministic: the same parameters always produce
+// the same vertex numbering and edge set, which keeps simulations and
+// tests reproducible.
+package topo
+
+import (
+	"fmt"
+
+	"polarstar/internal/gf"
+	"polarstar/internal/graph"
+)
+
+// ER is the Erdős–Rényi (Brown) polarity graph ER_q over GF(q): the
+// structure graph of PolarStar (§6.1 of the paper).
+//
+// Vertices are the q²+q+1 points of the projective plane PG(2,q) in
+// left-normalized form; two distinct points are adjacent iff their dot
+// product vanishes. Self-orthogonal points (the q+1 quadric vertices)
+// carry a self-loop annotation: the loop is not a usable link, but
+// Property R walks and the star product both exploit it.
+type ER struct {
+	Q     int
+	Field *gf.Field
+	G     *graph.Graph
+
+	vecs  [][3]int       // vertex id -> left-normalized coordinates
+	index map[[3]int]int // left-normalized coordinates -> vertex id
+}
+
+// NewER constructs ER_q. q must be a prime power.
+func NewER(q int) (*ER, error) {
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("topo: ER_%d: %w", q, err)
+	}
+	n := q*q + q + 1
+	e := &ER{
+		Q:     q,
+		Field: f,
+		vecs:  make([][3]int, 0, n),
+		index: make(map[[3]int]int, n),
+	}
+	// Left-normalized projective points: (1,a,b), (0,1,a), (0,0,1).
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			e.addVec([3]int{1, a, b})
+		}
+	}
+	for a := 0; a < q; a++ {
+		e.addVec([3]int{0, 1, a})
+	}
+	e.addVec([3]int{0, 0, 1})
+
+	b := graph.NewBuilder(fmt.Sprintf("ER%d", q), n)
+	for u := 0; u < n; u++ {
+		for v := u; v < n; v++ {
+			if e.dot(u, v) == 0 {
+				b.AddEdge(u, v) // u == v records the quadric self-loop
+			}
+		}
+	}
+	e.G = b.Build()
+	return e, nil
+}
+
+// MustNewER is NewER but panics on error.
+func MustNewER(q int) *ER {
+	e, err := NewER(q)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (e *ER) addVec(v [3]int) {
+	e.index[v] = len(e.vecs)
+	e.vecs = append(e.vecs, v)
+}
+
+func (e *ER) dot(u, v int) int {
+	a, b := e.vecs[u], e.vecs[v]
+	return e.Field.Dot(a[:], b[:])
+}
+
+// N returns the order q²+q+1.
+func (e *ER) N() int { return len(e.vecs) }
+
+// Degree returns the nominal degree q+1 (quadric vertices have network
+// degree q plus the loop).
+func (e *ER) Degree() int { return e.Q + 1 }
+
+// Vector returns the projective coordinates of vertex v.
+func (e *ER) Vector(v int) [3]int { return e.vecs[v] }
+
+// VertexOf returns the vertex id of a (not necessarily normalized)
+// non-zero coordinate vector.
+func (e *ER) VertexOf(vec [3]int) (int, bool) {
+	norm, ok := e.normalize(vec)
+	if !ok {
+		return 0, false
+	}
+	id, ok := e.index[norm]
+	return id, ok
+}
+
+// normalize scales vec so its leftmost non-zero entry is 1.
+func (e *ER) normalize(vec [3]int) ([3]int, bool) {
+	f := e.Field
+	for i := 0; i < 3; i++ {
+		if vec[i] != 0 {
+			inv := f.Inv(vec[i])
+			var out [3]int
+			for j := 0; j < 3; j++ {
+				out[j] = f.Mul(vec[j], inv)
+			}
+			return out, true
+		}
+	}
+	return [3]int{}, false
+}
+
+// IsQuadric reports whether vertex v is self-orthogonal.
+func (e *ER) IsQuadric(v int) bool { return e.G.HasLoop(v) }
+
+// CommonNeighbor returns a vertex adjacent (or loop-adjacent) to both u
+// and v: the cross product u × v, which is orthogonal to both (§6.1.2).
+// For u == v it returns a neighbor of u when u is not quadric, or u
+// itself when it is (the self-loop closes the walk).
+//
+// The returned vertex w satisfies dot(u,w) == 0 and dot(w,v) == 0, so the
+// walk u–w–v exists in ER_q when self-loops are admitted as walk steps.
+// This is the analytic 2-hop oracle used by PolarStar minpath routing.
+func (e *ER) CommonNeighbor(u, v int) int {
+	f := e.Field
+	a, b := e.vecs[u], e.vecs[v]
+	if u == v {
+		if e.IsQuadric(u) {
+			return u
+		}
+		// Any neighbor works: u–w–u is a valid length-2 walk.
+		return int(e.G.Neighbors(u)[0])
+	}
+	cross := [3]int{
+		f.Sub(f.Mul(a[1], b[2]), f.Mul(a[2], b[1])),
+		f.Sub(f.Mul(a[2], b[0]), f.Mul(a[0], b[2])),
+		f.Sub(f.Mul(a[0], b[1]), f.Mul(a[1], b[0])),
+	}
+	if cross == ([3]int{}) {
+		// u and v are projectively equal; cannot happen for distinct
+		// normalized vertices.
+		panic("topo: zero cross product for distinct ER vertices")
+	}
+	w, ok := e.VertexOf(cross)
+	if !ok {
+		panic("topo: cross product outside vertex set")
+	}
+	return w
+}

@@ -1,0 +1,38 @@
+package topo
+
+import "testing"
+
+func TestLayoutSummary(t *testing.T) {
+	// PolarStar-IQ(11, 3): ER_11 has q(q+1)²/2 = 792 non-loop edges;
+	// each bundle carries |V(IQ_3)| = 8 links (2(d*−q) with d*=15, q=11).
+	ps := MustNewPolarStar(11, 3, KindIQ)
+	l := ps.Layout()
+	if l.Supernodes != 133 || l.RoutersPerSupernode != 8 {
+		t.Errorf("blocks: %+v", l)
+	}
+	if l.Bundles != 11*12*12/2 {
+		t.Errorf("bundles = %d, want %d", l.Bundles, 11*12*12/2)
+	}
+	if l.LinksPerBundle != 2*(15-11) {
+		t.Errorf("links per bundle = %d, want 8", l.LinksPerBundle)
+	}
+	if l.SupernodeClusters != 12 {
+		t.Errorf("clusters = %d, want q+1 = 12", l.SupernodeClusters)
+	}
+	// Cross-check against the actual product graph: the number of
+	// inter-supernode links must match.
+	inter := 0
+	for _, e := range ps.G.Edges() {
+		if ps.GroupOf(e[0]) != ps.GroupOf(e[1]) {
+			inter++
+		}
+	}
+	if inter != l.InterSupernodeLinks {
+		t.Errorf("inter-supernode links = %d, want %d", inter, l.InterSupernodeLinks)
+	}
+	// §8: bundling reduces global cables by ≈ 2d*/3 at the optimal
+	// split; for this config the factor is exactly LinksPerBundle = 8.
+	if l.CableReduction != 8 {
+		t.Errorf("cable reduction = %f", l.CableReduction)
+	}
+}

@@ -1,0 +1,33 @@
+package topo
+
+import (
+	"polarstar/internal/gf"
+	"polarstar/internal/graph"
+)
+
+// Network is the common view of a topology used by traffic generation and
+// experiment harnesses: the underlying switch graph plus a grouping of
+// routers into supernodes/groups (hierarchical topologies) or singleton
+// groups (flat topologies).
+type Network interface {
+	// Graph returns the switch-level graph.
+	Graph() *graph.Graph
+	// NumGroups returns the number of router groups.
+	NumGroups() int
+	// GroupOf returns the group id of router v.
+	GroupOf(v int) int
+}
+
+// Flat wraps a plain graph as a Network with singleton groups.
+type Flat struct{ G *graph.Graph }
+
+// Graph implements Network.
+func (f Flat) Graph() *graph.Graph { return f.G }
+
+// NumGroups implements Network.
+func (f Flat) NumGroups() int { return f.G.N() }
+
+// GroupOf implements Network.
+func (f Flat) GroupOf(v int) int { return v }
+
+func primePower(q int) (int, int, bool) { return gf.PrimePower(q) }

@@ -1,0 +1,143 @@
+package topo
+
+import (
+	"fmt"
+
+	"polarstar/internal/graph"
+)
+
+// The paper's factor-graph properties (§5.1), implemented as exhaustive
+// checkers. They are used by the test suite to validate every construction
+// and by the design-space explorer to reject invalid factor combinations.
+
+// HasPropertyR reports whether g (of diameter D) joins every vertex pair
+// by a walk of length exactly D, where self-loop annotations may be used
+// as walk steps (§5.1.1). It returns the diameter it verified against.
+func HasPropertyR(g *graph.Graph, D int) bool {
+	// reach[v] after k rounds: set of vertices reachable from src by a
+	// walk of length exactly k (loops allowed).
+	n := g.N()
+	cur := make([]bool, n)
+	next := make([]bool, n)
+	for src := 0; src < n; src++ {
+		for i := range cur {
+			cur[i] = false
+		}
+		cur[src] = true
+		for step := 0; step < D; step++ {
+			for i := range next {
+				next[i] = false
+			}
+			for v := 0; v < n; v++ {
+				if !cur[v] {
+					continue
+				}
+				for _, w := range g.Neighbors(v) {
+					next[w] = true
+				}
+				if g.HasLoop(v) {
+					next[v] = true
+				}
+			}
+			cur, next = next, cur
+		}
+		for v := 0; v < n; v++ {
+			if !cur[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HasPropertyRStar reports whether (g, f) satisfies Property R* (§5.1.2):
+// f is an involution, and every vertex pair (x, y) satisfies x == y,
+// y == f(x), (x,y) ∈ E, or (f(x), f(y)) ∈ E.
+func HasPropertyRStar(g *graph.Graph, f []int) bool {
+	n := g.N()
+	if len(f) != n {
+		return false
+	}
+	for x := 0; x < n; x++ {
+		if f[x] < 0 || f[x] >= n || f[f[x]] != x {
+			return false // not an involution
+		}
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x == y || y == f[x] || g.HasEdge(x, y) || g.HasEdge(f[x], f[y]) {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// HasPropertyR1 reports whether (g, f) satisfies Property R1 (§5.1.2,
+// Bermond et al.): f is a bijection, f² is an automorphism of g, and
+// E ∪ f(E) is the complete edge set on V(g).
+func HasPropertyR1(g *graph.Graph, f []int) bool {
+	n := g.N()
+	if len(f) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, y := range f {
+		if y < 0 || y >= n || seen[y] {
+			return false
+		}
+		seen[y] = true
+	}
+	// f² an automorphism: (x,y) ∈ E iff (f²(x), f²(y)) ∈ E.
+	for x := 0; x < n; x++ {
+		for _, w := range g.Neighbors(x) {
+			if !g.HasEdge(f[f[x]], f[f[int(w)]]) {
+				return false
+			}
+		}
+	}
+	// E ∪ f(E) complete.
+	covered := make(map[[2]int]bool)
+	mark := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		covered[[2]int{u, v}] = true
+	}
+	for _, e := range g.Edges() {
+		mark(e[0], e[1])
+		mark(f[e[0]], f[e[1]])
+	}
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if !covered[[2]int{x, y}] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// VerifySupernode checks the structural claims of Table 2 for a supernode:
+// the order formula and the relevant property.
+func VerifySupernode(kind SupernodeKind, s *Supernode, degree int) error {
+	if want := SupernodeOrder(kind, degree); s.N() != want {
+		return fmt.Errorf("%v degree %d: order %d, want %d", kind, degree, s.N(), want)
+	}
+	switch kind {
+	case KindIQ, KindBDF:
+		if !HasPropertyRStar(s.G, s.F) {
+			return fmt.Errorf("%v degree %d: Property R* violated", kind, degree)
+		}
+	case KindPaley:
+		if !HasPropertyR1(s.G, s.F) {
+			return fmt.Errorf("%v degree %d: Property R1 violated", kind, degree)
+		}
+	case KindComplete:
+		if !HasPropertyRStar(s.G, s.F) || !HasPropertyR1(s.G, s.F) {
+			return fmt.Errorf("%v degree %d: properties violated", kind, degree)
+		}
+	}
+	return nil
+}

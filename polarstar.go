@@ -1,0 +1,321 @@
+// Package polarstar is a from-scratch Go implementation of the PolarStar
+// diameter-3 network topology family (Lakhotia et al., SPAA 2024) and of
+// the full evaluation environment of the paper: factor-graph algebra over
+// finite fields, the star product, every baseline topology, analytic
+// minpath routing, a cycle-level interconnect simulator, a flow-level
+// motif simulator, a multilevel graph bisector, and fault-injection
+// analysis.
+//
+// This root package is the curated public API: it re-exports the stable
+// entry points of the internal packages. Typical use:
+//
+//	ps, err := polarstar.New(11, 3, polarstar.IQ) // 1064 routers, radix 15
+//	router := polarstar.NewMinRouter(ps)          // §9.2 analytic minpaths
+//	path := router.Route(0, 999, nil)
+//
+// See the runnable programs under examples/ and the experiment
+// reproduction tools under cmd/.
+package polarstar
+
+import (
+	"math/rand"
+
+	"polarstar/internal/analysis"
+	"polarstar/internal/faults"
+	"polarstar/internal/flowsim"
+	"polarstar/internal/graph"
+	"polarstar/internal/moore"
+	"polarstar/internal/motifs"
+	"polarstar/internal/partition"
+	"polarstar/internal/route"
+	"polarstar/internal/sim"
+	"polarstar/internal/topo"
+	"polarstar/internal/traffic"
+)
+
+// Graph is an immutable undirected graph with self-loop annotations (the
+// common substrate of every topology here).
+type Graph = graph.Graph
+
+// NewGraphBuilder starts building a Graph on n vertices.
+func NewGraphBuilder(name string, n int) *graph.Builder { return graph.NewBuilder(name, n) }
+
+// PathStats aggregates all-pairs shortest-path structure (diameter,
+// average path length, connectivity).
+type PathStats = graph.PathStats
+
+// ---------------------------------------------------------------------
+// Topologies.
+
+// PolarStar is the paper's topology: the star product of an Erdős–Rényi
+// polarity graph with an Inductive-Quad or Paley supernode; diameter ≤ 3.
+type PolarStar = topo.PolarStar
+
+// SupernodeKind selects the supernode family.
+type SupernodeKind = topo.SupernodeKind
+
+// Supernode kinds.
+const (
+	// IQ is the Inductive-Quad supernode (order 2d'+2, Property R*) —
+	// the paper's main contribution for the supernode side.
+	IQ = topo.KindIQ
+	// Paley is the Paley-graph supernode (order 2d'+1, Property R1).
+	Paley = topo.KindPaley
+	// BDF is the Bermond–Delorme–Farhi-style supernode (order 2d').
+	BDF = topo.KindBDF
+	// Complete is the complete-graph supernode (order d'+1).
+	Complete = topo.KindComplete
+)
+
+// New constructs PolarStar(q, d') with the given supernode kind. The
+// network radix is (q+1) + d' and the order (q²+q+1) × supernode order.
+func New(q, dPrime int, kind SupernodeKind) (*PolarStar, error) {
+	return topo.NewPolarStar(q, dPrime, kind)
+}
+
+// MustNew is New but panics on error.
+func MustNew(q, dPrime int, kind SupernodeKind) *PolarStar {
+	return topo.MustNewPolarStar(q, dPrime, kind)
+}
+
+// Order returns the PolarStar order for the parameters without building
+// the graph (0 when infeasible).
+func Order(q, dPrime int, kind SupernodeKind) int { return topo.PolarStarOrder(q, dPrime, kind) }
+
+// ER is the Erdős–Rényi polarity graph ER_q (structure graph, diameter 2,
+// Property R).
+type ER = topo.ER
+
+// NewER constructs ER_q for a prime power q.
+func NewER(q int) (*ER, error) { return topo.NewER(q) }
+
+// Supernode bundles a supernode graph with its star-product bijection.
+type Supernode = topo.Supernode
+
+// NewSupernode constructs a supernode of the given kind and degree.
+func NewSupernode(kind SupernodeKind, degree int) (*Supernode, error) {
+	return topo.NewSupernode(kind, degree)
+}
+
+// StarProduct computes the bijective star product G * G' (§4.2).
+func StarProduct(name string, g *Graph, super *Supernode, f []int) *Graph {
+	return topo.StarProduct(name, g, super, f)
+}
+
+// Baseline topologies (§9.1).
+type (
+	// Bundlefly is the MMS × Paley star-product baseline (Lei et al.).
+	Bundlefly = topo.Bundlefly
+	// Dragonfly is the canonical maximum Dragonfly (Kim et al.).
+	Dragonfly = topo.Dragonfly
+	// HyperX is the all-to-all generalized hypercube (Ahn et al.).
+	HyperX = topo.HyperX
+	// FatTree is the 3-level folded Clos.
+	FatTree = topo.FatTree
+	// Megafly is the indirect two-level Dragonfly+ baseline.
+	Megafly = topo.Megafly
+	// MMS is the McKay–Miller–Širáň (SlimFly) diameter-2 graph.
+	MMS = topo.MMS
+	// Kautz is the (bidirectional) Kautz graph.
+	Kautz = topo.Kautz
+	// LPS is the Lubotzky–Phillips–Sarnak Ramanujan graph (Spectralfly).
+	LPS = topo.LPS
+)
+
+// Baseline constructors.
+var (
+	NewBundlefly = topo.NewBundlefly
+	NewDragonfly = topo.NewDragonfly
+	NewHyperX    = topo.NewHyperX
+	NewFatTree   = topo.NewFatTree
+	NewMegafly   = topo.NewMegafly
+	NewMMS       = topo.NewMMS
+	NewKautz     = topo.NewKautz
+	NewLPS       = topo.NewLPS
+	NewJellyfish = topo.NewJellyfish
+)
+
+// Property checkers (§5.1).
+var (
+	// HasPropertyR checks the structure-graph walk property.
+	HasPropertyR = topo.HasPropertyR
+	// HasPropertyRStar checks the involution supernode property.
+	HasPropertyRStar = topo.HasPropertyRStar
+	// HasPropertyR1 checks the Bermond–Delorme–Farhi property.
+	HasPropertyR1 = topo.HasPropertyR1
+)
+
+// ---------------------------------------------------------------------
+// Routing.
+
+// Router computes router-level paths through a topology.
+type Router = route.Engine
+
+// NewMinRouter builds the §9.2 analytic minimal-path router for a
+// PolarStar instance. Its state is O(q² + d'²): no product-wide tables.
+func NewMinRouter(ps *PolarStar) Router { return route.NewPolarStar(ps) }
+
+// NewBundleflyRouter builds the analytic single-minpath router for a
+// Bundlefly instance (factor-level state only) — the counterpart used to
+// test the §9.3 claim that Bundlefly needs all-minpath tables.
+func NewBundleflyRouter(bf *Bundlefly) Router { return route.NewBundlefly(bf) }
+
+// NewTableRouter builds an all-pairs BFS table router for any graph.
+// multipath selects uniform sampling among all minimal next hops.
+func NewTableRouter(g *Graph, multipath bool) Router {
+	mode := route.SinglePath
+	if multipath {
+		mode = route.MultiPath
+	}
+	return route.NewTable(g, mode)
+}
+
+// ValidPath reports whether path is a valid walk in g.
+func ValidPath(g *Graph, path []int) bool { return route.PathValid(g, path) }
+
+// RandomSource returns a deterministic rand.Rand for routing calls.
+func RandomSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// ---------------------------------------------------------------------
+// Scale analysis (§7, Figs 1/4/7).
+
+// DesignPoint is the largest order of a topology family at one radix.
+type DesignPoint = moore.Point
+
+// Scale analysis entry points.
+var (
+	// MooreBound is the degree/diameter Moore bound.
+	MooreBound = moore.Bound
+	// BestPolarStar returns the largest PolarStar at a radix.
+	BestPolarStar = moore.BestPolarStar
+	// BestBundlefly returns the largest Bundlefly at a radix.
+	BestBundlefly = moore.BestBundlefly
+	// BestDragonfly returns the largest Dragonfly at a radix.
+	BestDragonfly = moore.BestDragonfly
+	// BestHyperX3D returns the largest 3-D HyperX at a radix.
+	BestHyperX3D = moore.BestHyperX3D
+	// PolarStarConfigs enumerates all feasible configurations at a radix.
+	PolarStarConfigs = moore.PolarStarConfigs
+	// Headline computes the §1.3 geometric-mean scale ratios.
+	Headline = moore.Headline
+)
+
+// ---------------------------------------------------------------------
+// Simulation (§9, §10).
+
+// Simulation types.
+type (
+	// SimParams configures the cycle-level simulator.
+	SimParams = sim.Params
+	// SimResult is one simulated load point.
+	SimResult = sim.Result
+	// Spec bundles a topology with routing and endpoint arrangement.
+	Spec = sim.Spec
+	// SweepResult is a latency-load curve.
+	SweepResult = sim.SweepResult
+	// TrafficPattern maps source endpoints to destinations.
+	TrafficPattern = traffic.Pattern
+	// FlowNetwork is the message-level simulator used for motifs.
+	FlowNetwork = flowsim.Network
+)
+
+// Simulation entry points.
+var (
+	// NewSpec builds a named topology spec ("ps-iq", "bf", "df", ...;
+	// see sim.Table3Names). Append "-small" for scaled-down variants.
+	NewSpec = sim.NewSpec
+	// DefaultSimParams mirrors the §9.4 configuration.
+	DefaultSimParams = sim.DefaultParams
+	// Sweep runs a latency-load experiment.
+	Sweep = sim.Sweep
+	// DefaultLoads is the standard offered-load ladder.
+	DefaultLoads = sim.DefaultLoads
+	// NewFlowNetwork builds the §10 flow-level simulator.
+	NewFlowNetwork = flowsim.New
+	// DefaultFlowParams mirrors the §10.1 configuration.
+	DefaultFlowParams = flowsim.DefaultParams
+	// RunAllreduce simulates the Allreduce motif.
+	RunAllreduce = motifs.Allreduce
+	// RunSweep3D simulates the Sweep3D wavefront motif.
+	RunSweep3D = motifs.Sweep3D
+)
+
+// RoutingMode selects MIN or UGAL for Sweep.
+type RoutingMode = sim.RoutingMode
+
+// Routing modes for Sweep.
+const (
+	// MINRouting selects minimal routing.
+	MINRouting = sim.MIN
+	// UGALRouting selects load-balancing adaptive routing.
+	UGALRouting = sim.UGALMode
+)
+
+// ---------------------------------------------------------------------
+// Structural analysis (§11).
+
+// Structural analysis entry points.
+var (
+	// Bisect estimates the minimum bisection (METIS substitute).
+	Bisect = partition.Bisect
+	// CutFraction returns the fraction of links crossing the bisection.
+	CutFraction = partition.CutFraction
+	// FaultTrial runs one random link-failure scenario.
+	FaultTrial = faults.RunTrial
+	// FaultMedianTrial reproduces the §11.2 100-trial median protocol.
+	FaultMedianTrial = faults.MedianTrial
+)
+
+// BisectOptions tunes the bisector.
+type BisectOptions = partition.Options
+
+// FaultCurve is one link-failure scenario's measurements.
+type FaultCurve = faults.Trial
+
+// FaultBands aggregates many failure scenarios into quartile curves.
+type FaultBands = faults.Bands
+
+// RunFaultBands computes quartile resilience curves over many trials.
+var RunFaultBands = faults.RunBands
+
+// ---------------------------------------------------------------------
+// Path diversity and in-network collectives (extensions).
+
+// EdgeDisjointPaths returns a maximum set of edge-disjoint router paths
+// (unit-capacity max flow), bounding per-pair fault tolerance.
+var EdgeDisjointPaths = route.EdgeDisjointPaths
+
+// EdgeConnectivity estimates the network's edge connectivity (sample <= 0
+// checks every vertex pair with vertex 0: exact by Menger's theorem).
+func EdgeConnectivity(g *Graph, sample int) int { return route.EdgeConnectivityLB(g, sample) }
+
+// SpanningTree is a rooted spanning tree (for in-network collectives).
+type SpanningTree = route.SpanningTree
+
+// EdgeDisjointSpanningTrees greedily extracts edge-disjoint spanning
+// trees (the Dawkins et al. companion-work construction for in-network
+// allreduce).
+var EdgeDisjointSpanningTrees = route.EdgeDisjointSpanningTrees
+
+// Collective-algorithm variants on the flow-level simulator.
+var (
+	// RunAllreduceRing is the bandwidth-optimal ring allreduce.
+	RunAllreduceRing = motifs.AllreduceRing
+	// RunAllreduceRabenseifner is reduce-scatter + allgather.
+	RunAllreduceRabenseifner = motifs.AllreduceRabenseifner
+	// RunAllToAll is the shifted-schedule personalized exchange.
+	RunAllToAll = motifs.AllToAll
+	// RunTreeAllreduce reduces over k edge-disjoint spanning trees.
+	RunTreeAllreduce = motifs.TreeAllreduce
+)
+
+// ---------------------------------------------------------------------
+// Analytical link-load bounds (extensions).
+
+// LinkLoads is a per-link load distribution with its saturation bound.
+type LinkLoads = analysis.LinkLoads
+
+// ComputeLinkLoads estimates per-link loads and the bottleneck
+// saturation bound for a routing engine under a traffic pattern, without
+// simulation.
+var ComputeLinkLoads = analysis.ComputeLinkLoads
