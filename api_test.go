@@ -152,7 +152,7 @@ func TestFacadeExtensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loads := polarstar.ComputeLinkLoads(spec.MinEngine, spec.Config(), pattern, 10, 1)
+	loads := polarstar.ComputeLinkLoads(spec.Graph, spec.MinEngine, spec.Config(), pattern, 10, 1)
 	if loads.Max <= 0 || loads.SaturationBound() <= 0 {
 		t.Errorf("degenerate link loads: %+v", loads)
 	}

@@ -15,6 +15,7 @@ import (
 
 	"polarstar/internal/faults"
 	"polarstar/internal/plot"
+	"polarstar/internal/prof"
 	"polarstar/internal/sim"
 )
 
@@ -26,6 +27,7 @@ func main() {
 		svgOut   = flag.String("svg", "", "also write the APL-vs-failures curve as an SVG file")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	spec, err := sim.NewSpec(*specName)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"polarstar/internal/plot"
+	"polarstar/internal/prof"
 	"polarstar/internal/sim"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		svgOut   = flag.String("svg", "", "also write the latency-load curve as an SVG file")
 	)
 	flag.Parse()
+	defer prof.Start()()
 
 	spec, err := sim.NewSpec(*specName)
 	if err != nil {

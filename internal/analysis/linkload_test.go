@@ -15,7 +15,7 @@ func loadsFor(t *testing.T, specName, patternName string, rounds int) LinkLoads 
 	if err != nil {
 		t.Fatal(err)
 	}
-	return ComputeLinkLoads(spec.MinEngine, spec.Config(), pattern, rounds, 1)
+	return ComputeLinkLoads(spec.Graph, spec.MinEngine, spec.Config(), pattern, rounds, 1)
 }
 
 func TestUniformLoadsReasonable(t *testing.T) {
@@ -54,7 +54,7 @@ func TestAdversarialBoundFarBelowUniform(t *testing.T) {
 func TestAnalyticBoundDominatesSimulation(t *testing.T) {
 	spec := sim.MustNewSpec("df-small")
 	pattern, _ := spec.Pattern("adversarial", 1)
-	bound := ComputeLinkLoads(spec.MinEngine, spec.Config(), pattern, 5, 1).SaturationBound()
+	bound := ComputeLinkLoads(spec.Graph, spec.MinEngine, spec.Config(), pattern, 5, 1).SaturationBound()
 
 	p := sim.DefaultParams(1)
 	p.Warmup, p.Measure, p.Drain = 500, 1000, 2000
@@ -78,8 +78,8 @@ func TestMinpathNearUniquenessOnPolarStar(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	single := ComputeLinkLoads(spec.MinEngine, spec.Config(), pattern, 5, 1)
-	multi := ComputeLinkLoads(route.NewTable(spec.Graph, route.MultiPath), spec.Config(), pattern, 5, 1)
+	single := ComputeLinkLoads(spec.Graph, spec.MinEngine, spec.Config(), pattern, 5, 1)
+	multi := ComputeLinkLoads(spec.Graph, route.NewTable(spec.Graph, route.MultiPath), spec.Config(), pattern, 5, 1)
 	ratio := multi.SaturationBound() / single.SaturationBound()
 	if ratio < 0.7 || ratio > 1.4 {
 		t.Errorf("all-minpath bound %.4f differs from analytic %.4f by more than expected",
@@ -97,8 +97,8 @@ func TestValiantSpreadsAdversarialLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	min := ComputeLinkLoads(spec.MinEngine, spec.Config(), pattern, 5, 1)
-	val := ComputeLinkLoads(valiantEngine{v: route.NewValiant(spec.MinEngine, spec.Graph.N(), 1)},
+	min := ComputeLinkLoads(spec.Graph, spec.MinEngine, spec.Config(), pattern, 5, 1)
+	val := ComputeLinkLoads(spec.Graph, valiantEngine{v: route.NewValiant(spec.MinEngine, spec.Graph.N(), 1)},
 		spec.Config(), pattern, 5, 1)
 	if val.SaturationBound() <= min.SaturationBound() {
 		t.Errorf("valiant bound %.4f not above minimal bound %.4f",
@@ -120,12 +120,16 @@ func (e valiantEngine) Route(src, dst int, rng *rand.Rand) []int {
 	return e.v.Via(src, rng.Intn(e.v.N), dst, rng)
 }
 
+func (e valiantEngine) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
+	return e.v.AppendVia(buf, src, rng.Intn(e.v.N), dst, rng)
+}
+
 func (e valiantEngine) Dist(src, dst int) int { return e.v.Min.Dist(src, dst) }
 
 func TestEmptyPattern(t *testing.T) {
 	spec := sim.MustNewSpec("ps-iq-small")
 	idle := idlePattern{}
-	l := ComputeLinkLoads(spec.MinEngine, spec.Config(), idle, 3, 1)
+	l := ComputeLinkLoads(spec.Graph, spec.MinEngine, spec.Config(), idle, 3, 1)
 	if l.UsedLinks != 0 || l.Max != 0 {
 		t.Errorf("idle pattern produced load: %+v", l)
 	}

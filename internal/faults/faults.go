@@ -5,6 +5,13 @@
 // first disconnects). The paper runs 100 trials and reports the trial
 // with the median disconnection ratio; this package reproduces that
 // protocol with seeded determinism.
+//
+// The sweep hot loop — dozens of subgraph builds and connectivity checks
+// per trial, across up to 100 trials — runs through a reusable sweeper:
+// removal ranks are kept per channel id, subgraphs are rebuilt in place
+// with graph.FilterEdgesScratch (no Builder round-trip), and the
+// connectivity BFS reuses one distance array and queue. A full sweep
+// allocates a small constant amount of memory regardless of trial count.
 package faults
 
 import (
@@ -34,111 +41,85 @@ type Trial struct {
 // all vertices.
 type Hosts []int
 
-// RunTrial removes links of g in a seed-determined random order,
-// sampling diameter and average path length among hosts at each failure
-// fraction in fracs (which must be ascending). Sampling stops once the
-// host set is disconnected; the disconnection ratio is located exactly by
-// bisection over the removal order.
-func RunTrial(g *graph.Graph, hosts Hosts, seed int64, fracs []float64) Trial {
-	rng := rand.New(rand.NewSource(seed))
-	edges := g.Edges()
-	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-
-	tr := Trial{Seed: seed}
-	// Exact disconnection point by bisection: the smallest k such that
-	// removing the first k edges disconnects the hosts.
-	lo, hi := 1, len(edges)
-	if subsetConnected(g.RemoveEdges(edges), hosts) {
-		// Removing everything leaves hosts connected only if there is at
-		// most one host.
-		lo = len(edges) + 1
-	}
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if subsetConnected(g.RemoveEdges(edges[:mid]), hosts) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	disconnectAt := lo
-	tr.DisconnectionRatio = float64(disconnectAt) / float64(len(edges))
-
-	for _, f := range fracs {
-		k := int(f * float64(len(edges)))
-		if k >= disconnectAt {
-			tr.Curve = append(tr.Curve, Point{FailFrac: f, Connected: false})
-			continue
-		}
-		h := g.RemoveEdges(edges[:k])
-		diam, avg, ok := subsetStats(h, hosts)
-		tr.Curve = append(tr.Curve, Point{FailFrac: f, Diameter: diam, AvgPath: avg, Connected: ok})
-	}
-	return tr
+// sweeper owns the reusable state of repeated fault trials on one graph.
+type sweeper struct {
+	g       *graph.Graph
+	arcChan []int32 // e-th u<v edge -> channel id of its u→v arc
+	order   []int32 // shuffled edge indices of the current trial
+	rank    []int32 // channel id (u<v arc) -> removal position
+	scratch graph.FilterScratch
+	dist    []int32
+	bfs     graph.BFSScratch
+	inHosts []bool
 }
 
-// MedianTrial runs `trials` independent scenarios and returns the one
-// with the median disconnection ratio (the paper's reporting protocol).
-func MedianTrial(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) Trial {
-	if trials < 1 {
-		trials = 1
+func newSweeper(g *graph.Graph) *sweeper {
+	sw := &sweeper{
+		g:       g,
+		arcChan: make([]int32, 0, g.M()),
+		order:   make([]int32, g.M()),
+		rank:    make([]int32, g.NumChannels()),
 	}
-	// Rank trials by disconnection ratio (cheap: bisection only), then
-	// compute the full curve for the median one.
-	type ranked struct {
-		seed  int64
-		ratio float64
+	for u := 0; u < g.N(); u++ {
+		base := g.FirstChannel(u)
+		for k, w := range g.Neighbors(u) {
+			if int(w) > u {
+				sw.arcChan = append(sw.arcChan, int32(base+k))
+			}
+		}
 	}
-	rs := make([]ranked, trials)
-	for i := 0; i < trials; i++ {
-		s := seed + int64(i)*6151
-		t := RunTrial(g, hosts, s, nil)
-		rs[i] = ranked{seed: s, ratio: t.DisconnectionRatio}
-	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].ratio < rs[j].ratio })
-	med := rs[len(rs)/2]
-	return RunTrial(g, hosts, med.seed, fracs)
+	return sw
 }
 
-// subsetConnected reports whether all hosts are in one component.
-func subsetConnected(g *graph.Graph, hosts Hosts) bool {
-	if g.N() == 0 {
+// subgraph rebuilds (into the scratch CSR) the graph with the first k
+// edges of the current removal order deleted. The result aliases the
+// sweeper and is invalidated by the next subgraph call.
+func (sw *sweeper) subgraph(k int) *graph.Graph {
+	kk := int32(k)
+	return sw.g.FilterEdgesScratch(&sw.scratch, func(c, _, _ int) bool {
+		return sw.rank[c] >= kk
+	})
+}
+
+// connected reports whether the host set is in one component of h.
+func (sw *sweeper) connected(h *graph.Graph, hosts Hosts) bool {
+	if h.N() == 0 {
 		return true
 	}
 	if hosts == nil {
-		return g.IsConnected()
-	}
-	if len(hosts) == 0 {
+		sw.dist = h.BFSDistancesScratch(0, sw.dist, &sw.bfs)
+		for _, d := range sw.dist {
+			if d < 0 {
+				return false
+			}
+		}
 		return true
 	}
-	dist := g.BFSDistances(hosts[0], nil)
-	for _, h := range hosts {
-		if dist[h] < 0 {
-			return false
-		}
-	}
-	return true
+	ok, dist := h.ConnectedSubset(hosts, sw.dist, &sw.bfs)
+	sw.dist = dist
+	return ok
 }
 
-// subsetStats computes diameter and average path length restricted to
-// host pairs.
-func subsetStats(g *graph.Graph, hosts Hosts) (int32, float64, bool) {
+// stats computes diameter and average path length restricted to host
+// pairs of h.
+func (sw *sweeper) stats(h *graph.Graph, hosts Hosts) (int32, float64, bool) {
 	if hosts == nil {
-		s := g.AllPairsStats()
+		s := h.AllPairsStats()
 		return s.Diameter, s.AvgPath, s.Connected
 	}
-	inHosts := make([]bool, g.N())
-	for _, h := range hosts {
-		inHosts[h] = true
+	if sw.inHosts == nil {
+		sw.inHosts = make([]bool, h.N())
+		for _, v := range hosts {
+			sw.inHosts[v] = true
+		}
 	}
 	var diam int32
 	var sum, pairs int64
 	connected := true
-	dist := make([]int32, g.N())
-	for _, h := range hosts {
-		g.BFSDistances(h, dist)
-		for v, d := range dist {
-			if !inHosts[v] || v == h {
+	for _, src := range hosts {
+		sw.dist = h.BFSDistancesScratch(src, sw.dist, &sw.bfs)
+		for v, d := range sw.dist {
+			if !sw.inHosts[v] || v == src {
 				continue
 			}
 			if d < 0 {
@@ -159,6 +140,83 @@ func subsetStats(g *graph.Graph, hosts Hosts) (int32, float64, bool) {
 	return diam, avg, connected
 }
 
+// runTrial is RunTrial on the sweeper's reusable state.
+func (sw *sweeper) runTrial(hosts Hosts, seed int64, fracs []float64) Trial {
+	rng := rand.New(rand.NewSource(seed))
+	m := len(sw.order)
+	for i := range sw.order {
+		sw.order[i] = int32(i)
+	}
+	rng.Shuffle(m, func(i, j int) { sw.order[i], sw.order[j] = sw.order[j], sw.order[i] })
+	for p, e := range sw.order {
+		sw.rank[sw.arcChan[e]] = int32(p)
+	}
+
+	tr := Trial{Seed: seed}
+	// Exact disconnection point by bisection: the smallest k such that
+	// removing the first k edges disconnects the hosts.
+	lo, hi := 1, m
+	if sw.connected(sw.subgraph(m), hosts) {
+		// Removing everything leaves hosts connected only if there is at
+		// most one host.
+		lo = m + 1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sw.connected(sw.subgraph(mid), hosts) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	disconnectAt := lo
+	tr.DisconnectionRatio = float64(disconnectAt) / float64(m)
+
+	for _, f := range fracs {
+		k := int(f * float64(m))
+		if k >= disconnectAt {
+			tr.Curve = append(tr.Curve, Point{FailFrac: f, Connected: false})
+			continue
+		}
+		diam, avg, ok := sw.stats(sw.subgraph(k), hosts)
+		tr.Curve = append(tr.Curve, Point{FailFrac: f, Diameter: diam, AvgPath: avg, Connected: ok})
+	}
+	return tr
+}
+
+// RunTrial removes links of g in a seed-determined random order,
+// sampling diameter and average path length among hosts at each failure
+// fraction in fracs (which must be ascending). Sampling stops once the
+// host set is disconnected; the disconnection ratio is located exactly by
+// bisection over the removal order.
+func RunTrial(g *graph.Graph, hosts Hosts, seed int64, fracs []float64) Trial {
+	return newSweeper(g).runTrial(hosts, seed, fracs)
+}
+
+// MedianTrial runs `trials` independent scenarios and returns the one
+// with the median disconnection ratio (the paper's reporting protocol).
+func MedianTrial(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) Trial {
+	if trials < 1 {
+		trials = 1
+	}
+	sw := newSweeper(g)
+	// Rank trials by disconnection ratio (cheap: bisection only), then
+	// compute the full curve for the median one.
+	type ranked struct {
+		seed  int64
+		ratio float64
+	}
+	rs := make([]ranked, trials)
+	for i := 0; i < trials; i++ {
+		s := seed + int64(i)*6151
+		t := sw.runTrial(hosts, s, nil)
+		rs[i] = ranked{seed: s, ratio: t.DisconnectionRatio}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ratio < rs[j].ratio })
+	med := rs[len(rs)/2]
+	return sw.runTrial(hosts, med.seed, fracs)
+}
+
 // Bands aggregates many trials into quartile curves — an extension of
 // the paper's median-trial protocol showing the spread across failure
 // scenarios.
@@ -176,11 +234,12 @@ func RunBands(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float
 	if trials < 1 {
 		trials = 1
 	}
+	sw := newSweeper(g)
 	b := Bands{Fracs: fracs, Trials: trials}
 	apl := make([][]float64, len(fracs)) // per fraction: APLs of connected trials
 	var ratios []float64
 	for i := 0; i < trials; i++ {
-		tr := RunTrial(g, hosts, seed+int64(i)*6151, fracs)
+		tr := sw.runTrial(hosts, seed+int64(i)*6151, fracs)
 		ratios = append(ratios, tr.DisconnectionRatio)
 		for j, p := range tr.Curve {
 			if p.Connected {

@@ -9,29 +9,47 @@ import (
 // components.
 const Unreachable = int32(-1)
 
+// BFSScratch holds the reusable traversal queue for repeated BFS calls.
+// The zero value is ready to use; one scratch serves one goroutine.
+type BFSScratch struct {
+	queue []int32
+}
+
 // BFSDistances returns the hop distance from src to every vertex, with
 // Unreachable for vertices in other components. If dist is non-nil and has
 // length N it is reused, avoiding an allocation in hot loops.
 func (g *Graph) BFSDistances(src int, dist []int32) []int32 {
+	var s BFSScratch
+	return g.BFSDistancesScratch(src, dist, &s)
+}
+
+// BFSDistancesScratch is BFSDistances with an explicit scratch, making
+// repeated traversals allocation-free once dist and the scratch have
+// reached size N.
+func (g *Graph) BFSDistancesScratch(src int, dist []int32, s *BFSScratch) []int32 {
 	if dist == nil || len(dist) != g.n {
 		dist = make([]int32, g.n)
 	}
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	queue := make([]int32, 0, g.n)
+	if cap(s.queue) < g.n {
+		s.queue = make([]int32, 0, g.n)
+	}
+	queue := s.queue[:0]
 	dist[src] = 0
 	queue = append(queue, int32(src))
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		du := dist[u]
-		for _, v := range g.adj[u] {
+		for _, v := range g.nbr[g.off[u]:g.off[u+1]] {
 			if dist[v] == Unreachable {
 				dist[v] = du + 1
 				queue = append(queue, v)
 			}
 		}
 	}
+	s.queue = queue
 	return dist
 }
 
@@ -85,8 +103,9 @@ func (g *Graph) AllPairsStats() PathStats {
 			defer wg.Done()
 			local := partial{connected: true}
 			dist := make([]int32, g.n)
+			var scratch BFSScratch
 			for src := w; src < g.n; src += workers {
-				g.BFSDistances(src, dist)
+				g.BFSDistancesScratch(src, dist, &scratch)
 				for v, d := range dist {
 					if v == src {
 						continue
@@ -145,6 +164,22 @@ func (g *Graph) IsConnected() bool {
 	return true
 }
 
+// ConnectedSubset reports whether every vertex of hosts is reachable from
+// hosts[0], reusing dist and scratch (both sized on first use). It is the
+// allocation-free connectivity check of the fault-sweep bisection.
+func (g *Graph) ConnectedSubset(hosts []int, dist []int32, s *BFSScratch) (bool, []int32) {
+	if g.n == 0 || len(hosts) == 0 {
+		return true, dist
+	}
+	dist = g.BFSDistancesScratch(hosts[0], dist, s)
+	for _, h := range hosts {
+		if dist[h] < 0 {
+			return false, dist
+		}
+	}
+	return true, dist
+}
+
 // Components returns the vertex sets of the connected components, largest
 // first.
 func (g *Graph) Components() [][]int {
@@ -165,7 +200,7 @@ func (g *Graph) Components() [][]int {
 		queue = append(queue, int32(s))
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(int(u)) {
 				if comp[v] == -1 {
 					comp[v] = id
 					members = append(members, int(v))
@@ -204,7 +239,7 @@ func (g *Graph) LargestComponent() (*Graph, []int) {
 		if g.loops[old] {
 			b.loops[newID] = true
 		}
-		for _, w := range g.adj[old] {
+		for _, w := range g.Neighbors(old) {
 			if nw := remap[w]; nw >= 0 && int32(newID) < nw {
 				b.AddEdge(newID, int(nw))
 			}

@@ -22,7 +22,7 @@ func (g *Graph) WriteDOT(w io.Writer, groupOf func(int) int) error {
 		}
 	}
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if int(v) > u {
 				fmt.Fprintf(bw, "  %d -- %d;\n", u, v)
 			}

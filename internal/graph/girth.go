@@ -18,7 +18,7 @@ func (g *Graph) Girth() int {
 		queue := []int32{int32(src)}
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(int(u)) {
 				if v == parent[u] {
 					// Skip the tree edge back to the parent; parallel
 					// edges do not exist in this simple-graph type.

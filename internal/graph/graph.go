@@ -5,6 +5,12 @@
 // them safe to share across the worker pools used by the parallel
 // all-pairs algorithms and the network simulator.
 //
+// Storage is a CSR (compressed sparse row): one flat sorted neighbor
+// array plus per-vertex offsets. Every directed arc u→v therefore has a
+// dense integer id — its "channel id" — which the simulator and the
+// analytic link-load accumulators use to index per-channel state with
+// plain arrays instead of hash maps (see ChannelID).
+//
 // Self-loops get first-class treatment because Erdős–Rényi polarity graphs
 // have self-orthogonal (quadric) vertices: the loop does not contribute a
 // usable network link, but Property R walks and the star product both
@@ -13,7 +19,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Graph is an immutable simple undirected graph with optional self-loop
@@ -21,9 +27,10 @@ import (
 type Graph struct {
 	name   string
 	n      int
-	adj    [][]int32 // sorted neighbour lists, no self-loops, no duplicates
-	loops  []bool    // loops[v]: v carries a self-loop annotation
-	nEdges int       // number of undirected non-loop edges
+	off    []int32 // CSR offsets, len n+1
+	nbr    []int32 // CSR neighbor array (sorted per vertex), len 2*nEdges
+	loops  []bool  // loops[v]: v carries a self-loop annotation
+	nEdges int     // number of undirected non-loop edges
 	nLoops int
 }
 
@@ -79,32 +86,27 @@ func (b *Builder) HasEdge(u, v int) bool {
 
 // Build finalizes the graph. The builder must not be used afterwards.
 func (b *Builder) Build() *Graph {
-	deg := make([]int, b.n)
+	deg := make([]int32, b.n)
 	for k := range b.edges {
 		deg[int(k>>32)]++
 		deg[int(k&0xffffffff)]++
 	}
-	adj := make([][]int32, b.n)
-	backing := make([]int32, 0, 2*len(b.edges))
-	offsets := make([]int, b.n)
-	pos := 0
+	off := make([]int32, b.n+1)
 	for v := 0; v < b.n; v++ {
-		offsets[v] = pos
-		pos += deg[v]
+		off[v+1] = off[v] + deg[v]
 	}
-	backing = backing[:pos]
-	fill := make([]int, b.n)
+	nbr := make([]int32, off[b.n])
+	fill := make([]int32, b.n)
 	for k := range b.edges {
 		u, v := int(k>>32), int(k&0xffffffff)
-		backing[offsets[u]+fill[u]] = int32(v)
-		backing[offsets[v]+fill[v]] = int32(u)
+		nbr[off[u]+fill[u]] = int32(v)
+		nbr[off[v]+fill[v]] = int32(u)
 		fill[u]++
 		fill[v]++
 	}
 	nLoops := 0
 	for v := 0; v < b.n; v++ {
-		adj[v] = backing[offsets[v] : offsets[v]+deg[v]]
-		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		slices.Sort(nbr[off[v]:off[v+1]])
 		if b.loops[v] {
 			nLoops++
 		}
@@ -112,7 +114,8 @@ func (b *Builder) Build() *Graph {
 	return &Graph{
 		name:   b.name,
 		n:      b.n,
-		adj:    adj,
+		off:    off,
+		nbr:    nbr,
 		loops:  b.loops,
 		nEdges: len(b.edges),
 		nLoops: nLoops,
@@ -132,38 +135,59 @@ func (g *Graph) M() int { return g.nEdges }
 func (g *Graph) NumLoops() int { return g.nLoops }
 
 // Degree returns the non-loop degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.off[v+1] - g.off[v]) }
 
 // HasLoop reports whether v carries a self-loop annotation.
 func (g *Graph) HasLoop(v int) bool { return g.loops[v] }
 
 // Neighbors returns the sorted neighbour list of v. The slice is shared
 // with the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+func (g *Graph) Neighbors(v int) []int32 { return g.nbr[g.off[v]:g.off[v+1]] }
+
+// NumChannels returns the number of directed channels (arcs): 2·M().
+// Channel ids are dense in [0, NumChannels()).
+func (g *Graph) NumChannels() int { return len(g.nbr) }
+
+// FirstChannel returns the channel id of u's first outgoing arc; the k-th
+// neighbor of u (in Neighbors order) is reached over channel
+// FirstChannel(u)+k.
+func (g *Graph) FirstChannel(u int) int { return int(g.off[u]) }
+
+// ChannelID returns the dense id of the directed channel u→v, or -1 when
+// {u,v} is not an edge. Ids follow CSR order: all arcs out of u are
+// contiguous, sorted by destination.
+func (g *Graph) ChannelID(u, v int) int {
+	lo, hi := g.off[u], g.off[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.nbr[mid] < int32(v) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < g.off[u+1] && g.nbr[lo] == int32(v) {
+		return int(lo)
+	}
+	return -1
+}
+
+// ChannelTo returns the destination vertex of channel c.
+func (g *Graph) ChannelTo(c int) int { return int(g.nbr[c]) }
 
 // HasEdge reports whether {u,v} is an edge (loops excluded).
 func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	a := g.adj[u]
-	lo, hi := 0, len(a)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if a[mid] < int32(v) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(a) && a[lo] == int32(v)
+	return g.ChannelID(u, v) >= 0
 }
 
 // MaxDegree returns the largest non-loop degree; 0 for an empty graph.
 func (g *Graph) MaxDegree() int {
 	m := 0
 	for v := 0; v < g.n; v++ {
-		if d := len(g.adj[v]); d > m {
+		if d := g.Degree(v); d > m {
 			m = d
 		}
 	}
@@ -175,9 +199,9 @@ func (g *Graph) MinDegree() int {
 	if g.n == 0 {
 		return 0
 	}
-	m := len(g.adj[0])
+	m := g.Degree(0)
 	for v := 1; v < g.n; v++ {
-		if d := len(g.adj[v]); d < m {
+		if d := g.Degree(v); d < m {
 			m = d
 		}
 	}
@@ -191,13 +215,111 @@ func (g *Graph) IsRegular() bool { return g.n == 0 || g.MaxDegree() == g.MinDegr
 func (g *Graph) Edges() [][2]int {
 	out := make([][2]int, 0, g.nEdges)
 	for u := 0; u < g.n; u++ {
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(u) {
 			if int(w) > u {
 				out = append(out, [2]int{u, int(w)})
 			}
 		}
 	}
 	return out
+}
+
+// FilterScratch holds the reusable allocations of FilterEdgesScratch.
+// One scratch serves one filtering loop at a time; the zero value is
+// ready to use.
+type FilterScratch struct {
+	keep []uint64 // bitmap over the u<v arcs of the source graph
+	deg  []int32
+	fill []int32
+	off  []int32
+	nbr  []int32
+}
+
+// FilterEdges returns a copy of g retaining exactly the edges for which
+// keep returns true. keep is called once per undirected edge, with u < v,
+// in CSR order; c is the channel id of the u→v arc, so callers can key
+// per-edge state by channel id without any lookup. Loop annotations are
+// preserved. The CSR of the copy is built directly in two passes — no
+// intermediate edge map.
+func (g *Graph) FilterEdges(keep func(c, u, v int) bool) *Graph {
+	return g.FilterEdgesScratch(new(FilterScratch), keep)
+}
+
+// FilterEdgesScratch is FilterEdges reusing the allocations of s across
+// calls. The returned graph aliases s: it is invalidated by the next
+// FilterEdgesScratch call with the same scratch. Use it in tight loops
+// that build, measure and discard subgraphs (the fault-sweep bisection).
+func (g *Graph) FilterEdgesScratch(s *FilterScratch, keep func(c, u, v int) bool) *Graph {
+	nc := len(g.nbr)
+	if cap(s.keep) < (nc+63)/64 {
+		s.keep = make([]uint64, (nc+63)/64)
+	}
+	s.keep = s.keep[:(nc+63)/64]
+	for i := range s.keep {
+		s.keep[i] = 0
+	}
+	if cap(s.deg) < g.n {
+		s.deg = make([]int32, g.n)
+		s.fill = make([]int32, g.n)
+	}
+	s.deg, s.fill = s.deg[:g.n], s.fill[:g.n]
+	for i := range s.deg {
+		s.deg[i] = 0
+		s.fill[i] = 0
+	}
+	// Pass 1: decide each u<v edge once, record the verdict, count degrees.
+	kept := 0
+	for u := 0; u < g.n; u++ {
+		for c := g.off[u]; c < g.off[u+1]; c++ {
+			v := int(g.nbr[c])
+			if v <= u {
+				continue
+			}
+			if keep(int(c), u, v) {
+				s.keep[c>>6] |= 1 << (uint(c) & 63)
+				s.deg[u]++
+				s.deg[v]++
+				kept++
+			}
+		}
+	}
+	if cap(s.off) < g.n+1 {
+		s.off = make([]int32, g.n+1)
+	}
+	s.off = s.off[:g.n+1]
+	s.off[0] = 0
+	for v := 0; v < g.n; v++ {
+		s.off[v+1] = s.off[v] + s.deg[v]
+	}
+	if cap(s.nbr) < 2*kept {
+		s.nbr = make([]int32, 2*kept)
+	}
+	s.nbr = s.nbr[:2*kept]
+	// Pass 2: emit kept edges in (u asc, v asc) order. Vertex x receives
+	// its smaller neighbors first (while processing each u < x, u
+	// ascending) and its larger ones after (while processing u == x), so
+	// every output list comes out sorted without a sort pass.
+	for u := 0; u < g.n; u++ {
+		for c := g.off[u]; c < g.off[u+1]; c++ {
+			v := int(g.nbr[c])
+			if v <= u || s.keep[c>>6]&(1<<(uint(c)&63)) == 0 {
+				continue
+			}
+			s.nbr[s.off[u]+s.fill[u]] = int32(v)
+			s.nbr[s.off[v]+s.fill[v]] = int32(u)
+			s.fill[u]++
+			s.fill[v]++
+		}
+	}
+	return &Graph{
+		name:   g.name,
+		n:      g.n,
+		off:    s.off,
+		nbr:    s.nbr,
+		loops:  g.loops, // immutable: safe to share
+		nEdges: kept,
+		nLoops: g.nLoops,
+	}
 }
 
 // RemoveEdges returns a copy of g with the given undirected edges deleted.
@@ -213,19 +335,10 @@ func (g *Graph) RemoveEdges(edges [][2]int) *Graph {
 	for _, e := range edges {
 		drop[key(e[0], e[1])] = struct{}{}
 	}
-	b := NewBuilder(g.name, g.n)
-	copy(b.loops, g.loops)
-	for u := 0; u < g.n; u++ {
-		for _, w := range g.adj[u] {
-			v := int(w)
-			if u < v {
-				if _, gone := drop[key(u, v)]; !gone {
-					b.AddEdge(u, v)
-				}
-			}
-		}
-	}
-	return b.Build()
+	return g.FilterEdges(func(_, u, v int) bool {
+		_, gone := drop[key(u, v)]
+		return !gone
+	})
 }
 
 // Rename returns a shallow copy of g with a different name.

@@ -22,7 +22,7 @@ func (g *Graph) WriteEdgeList(w io.Writer) error {
 		return err
 	}
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.Neighbors(u) {
 			if int(v) > u {
 				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
 					return err

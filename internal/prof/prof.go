@@ -1,0 +1,54 @@
+// Package prof wires the standard -cpuprofile / -memprofile flags into
+// the command-line tools, so any experiment run can be inspected with
+// `go tool pprof` (see the profiling section of the README).
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuOut = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memOut = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
+// Start begins CPU profiling when -cpuprofile was given. The returned
+// stop function must be deferred: it finishes the CPU profile and, when
+// -memprofile was given, writes the end-of-run heap profile.
+func Start() func() {
+	var cpuFile *os.File
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memOut != "" {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+}

@@ -20,7 +20,9 @@ import (
 // Path construction mirrors the PolarStar case analysis with two
 // simplifications — MMS graphs have no self-loops, and the Paley
 // supernode has diameter 2 — plus one generalization: common neighbors
-// in MMS are not unique, so the distance-2 check scans all of them.
+// in MMS are not unique, so the distance-2 check scans all of them. The
+// common-neighbor scans are inlined merges over the sorted adjacency
+// lists, keeping AppendPath allocation-free.
 type Bundlefly struct {
 	bf   *topo.Bundlefly
 	fInv []int
@@ -58,9 +60,14 @@ func (r *Bundlefly) Dist(src, dst int) int { return len(r.Route(src, dst, nil)) 
 
 // Route implements Engine; the returned path is minimal (cross-checked
 // exhaustively against BFS in the tests).
-func (r *Bundlefly) Route(src, dst int, _ *rand.Rand) []int {
+func (r *Bundlefly) Route(src, dst int, rng *rand.Rand) []int {
+	return r.AppendPath(nil, src, dst, rng)
+}
+
+// AppendPath implements Engine.
+func (r *Bundlefly) AppendPath(buf []int, src, dst int, _ *rand.Rand) []int {
 	if src == dst {
-		return nil
+		return buf
 	}
 	sn := r.bf.Super.N()
 	x, xp := src/sn, src%sn
@@ -70,74 +77,75 @@ func (r *Bundlefly) Route(src, dst int, _ *rand.Rand) []int {
 	case x == y:
 		// Same supernode: the Paley graph has diameter 2.
 		if sup.HasEdge(xp, yp) {
-			return []int{src, dst}
+			return append(buf, src, dst)
 		}
 		for _, z := range sup.Neighbors(xp) {
 			if sup.HasEdge(int(z), yp) {
-				return []int{src, r.node(x, int(z)), dst}
+				return append(buf, src, r.node(x, int(z)), dst)
 			}
 		}
 		panic(fmt.Sprintf("route: Paley supernode pair (%d,%d) beyond distance 2", xp, yp))
 	case r.bf.Structure.G.HasEdge(x, y):
-		return r.routeAdjacent(x, xp, y, yp)
+		return r.appendAdjacent(buf, x, xp, y, yp)
 	default:
 		// Structure distance 2 (MMS diameter 2). Distance-2 product
 		// paths exist only through a common neighbor w whose crossing
-		// composition lands on y'.
-		var first int
-		found := false
-		for _, w := range r.commonNeighbors(x, y) {
-			if !found {
-				first, found = w, true
-			}
-			mid := r.cross(x, w, xp)
-			if r.cross(w, y, mid) == yp {
-				return []int{src, r.node(w, mid), dst}
+		// composition lands on y'. Merge-scan the sorted MMS lists.
+		a := r.bf.Structure.G.Neighbors(x)
+		b := r.bf.Structure.G.Neighbors(y)
+		first := -1
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				w := int(a[i])
+				if first < 0 {
+					first = w
+				}
+				mid := r.cross(x, w, xp)
+				if r.cross(w, y, mid) == yp {
+					return append(buf, src, r.node(w, mid), dst)
+				}
+				i++
+				j++
 			}
 		}
-		if !found {
+		if first < 0 {
 			panic(fmt.Sprintf("route: MMS vertices %d,%d at distance 2 share no neighbor", x, y))
 		}
 		// Distance 3: hop into the first common neighbor, then solve the
 		// adjacent-supernode case (always ≤ 2 more hops).
 		mid := r.cross(x, first, xp)
-		rest := r.routeAdjacent(first, mid, y, yp)
-		return append([]int{src}, rest...)
+		buf = append(buf, src)
+		return r.appendAdjacent(buf, first, mid, y, yp)
 	}
 }
 
-// routeAdjacent handles structure-adjacent supernodes: distance 1 or 2,
+// appendAdjacent handles structure-adjacent supernodes: distance 1 or 2,
 // by the R1 argument (E' ∪ f(E') complete and f² an automorphism).
-func (r *Bundlefly) routeAdjacent(x, xp, y, yp int) []int {
+func (r *Bundlefly) appendAdjacent(buf []int, x, xp, y, yp int) []int {
 	sup := r.bf.Super.G
 	src, dst := r.node(x, xp), r.node(y, yp)
 	g := r.cross(x, y, xp)
 	if g == yp {
-		return []int{src, dst}
+		return append(buf, src, dst)
 	}
 	// Form 2: inter then intra.
 	if sup.HasEdge(g, yp) {
-		return []int{src, r.node(y, g), dst}
+		return append(buf, src, r.node(y, g), dst)
 	}
 	// Form 1: intra then inter.
 	if z := r.crossInv(x, y, yp); sup.HasEdge(xp, z) {
-		return []int{src, r.node(x, z), dst}
+		return append(buf, src, r.node(x, z), dst)
 	}
 	// Via a common structure neighbor (covers residual cases such as
 	// y' == x' when neither supernode form applies).
-	for _, w := range r.commonNeighbors(x, y) {
-		if r.cross(w, y, r.cross(x, w, xp)) == yp {
-			return []int{src, r.node(w, r.cross(x, w, xp)), dst}
-		}
-	}
-	panic(fmt.Sprintf("route: Bundlefly adjacent case fell through (x=%d x'=%d y=%d y'=%d)", x, xp, y, yp))
-}
-
-// commonNeighbors intersects the sorted MMS adjacency lists of x and y.
-func (r *Bundlefly) commonNeighbors(x, y int) []int {
 	a := r.bf.Structure.G.Neighbors(x)
 	b := r.bf.Structure.G.Neighbors(y)
-	var out []int
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -146,10 +154,13 @@ func (r *Bundlefly) commonNeighbors(x, y int) []int {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, int(a[i]))
+			w := int(a[i])
+			if r.cross(w, y, r.cross(x, w, xp)) == yp {
+				return append(buf, src, r.node(w, r.cross(x, w, xp)), dst)
+			}
 			i++
 			j++
 		}
 	}
-	return out
+	panic(fmt.Sprintf("route: Bundlefly adjacent case fell through (x=%d x'=%d y=%d y'=%d)", x, xp, y, yp))
 }

@@ -6,6 +6,10 @@ import (
 	"polarstar/internal/topo"
 )
 
+// maxInlineDims bounds the stack-allocated per-path dimension scratch of
+// the HyperX router; every evaluated HyperX has ≤ 3 dimensions.
+const maxInlineDims = 8
+
 // HyperX is the dimension-aligning minimal router (§9.3): a minimal path
 // corrects each mismatched coordinate with one hop, and all minpaths are
 // obtained by permuting the dimension order — path diversity without
@@ -17,38 +21,55 @@ func NewHyperX(hx *topo.HyperX) *HyperX { return &HyperX{hx: hx} }
 
 // Dist implements Engine: the Hamming distance between coordinates.
 func (r *HyperX) Dist(src, dst int) int {
-	cs, cd := r.hx.Coords(src), r.hx.Coords(dst)
 	d := 0
-	for i := range cs {
-		if cs[i] != cd[i] {
+	for _, size := range r.hx.Dims {
+		if src%size != dst%size {
 			d++
 		}
+		src /= size
+		dst /= size
 	}
 	return d
 }
 
 // Route implements Engine, sampling a random dimension correction order.
 func (r *HyperX) Route(src, dst int, rng *rand.Rand) []int {
+	return r.AppendPath(nil, src, dst, rng)
+}
+
+// AppendPath implements Engine. Mismatched dimensions are collected as
+// vertex-id deltas (coordinate difference × dimension stride) in a
+// fixed-size array, shuffled, and applied cumulatively — no coordinate
+// slices, no allocation.
+func (r *HyperX) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
 	if src == dst {
-		return nil
+		return buf
 	}
-	cs, cd := r.hx.Coords(src), r.hx.Coords(dst)
-	var dims []int
-	for i := range cs {
-		if cs[i] != cd[i] {
-			dims = append(dims, i)
+	var deltaArr [maxInlineDims]int
+	delta := deltaArr[:0]
+	if len(r.hx.Dims) > maxInlineDims {
+		delta = make([]int, 0, len(r.hx.Dims))
+	}
+	stride := 1
+	s, d := src, dst
+	for _, size := range r.hx.Dims {
+		if cs, cd := s%size, d%size; cs != cd {
+			delta = append(delta, (cd-cs)*stride)
 		}
+		s /= size
+		d /= size
+		stride *= size
 	}
 	if rng != nil {
-		rng.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
+		rng.Shuffle(len(delta), func(i, j int) { delta[i], delta[j] = delta[j], delta[i] })
 	}
-	path := []int{src}
-	cur := append([]int{}, cs...)
-	for _, d := range dims {
-		cur[d] = cd[d]
-		path = append(path, r.hx.VertexAt(cur))
+	buf = append(buf, src)
+	cur := src
+	for _, dv := range delta {
+		cur += dv
+		buf = append(buf, cur)
 	}
-	return path
+	return buf
 }
 
 // Dragonfly is the hierarchical minimal router: local hop to the router
@@ -75,6 +96,11 @@ func (r *Dragonfly) Route(src, dst int, rng *rand.Rand) []int {
 	return r.t.Route(src, dst, rng)
 }
 
+// AppendPath implements Engine.
+func (r *Dragonfly) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
+	return r.t.AppendPath(buf, src, dst, rng)
+}
+
 // FatTree is up-down routing on the 3-level folded Clos: ascend to a
 // common ancestor (choosing among equivalent parents uniformly — the
 // full path diversity of the Clos), then descend deterministically.
@@ -91,8 +117,13 @@ func (r *FatTree) Dist(src, dst int) int {
 // Route implements Engine. Both src and dst are switch ids; for the
 // simulator they are always level-0 leaves.
 func (r *FatTree) Route(src, dst int, rng *rand.Rand) []int {
+	return r.AppendPath(nil, src, dst, rng)
+}
+
+// AppendPath implements Engine.
+func (r *FatTree) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
 	if src == dst {
-		return nil
+		return buf
 	}
 	p := r.ft.P
 	pick := func(n int) int {
@@ -110,18 +141,17 @@ func (r *FatTree) Route(src, dst int, rng *rand.Rand) []int {
 		// structure is unnecessary, so just panic loudly.
 		panic("route: FatTree routing is defined for leaf routers")
 	}
-	gs, is := src/p, src%p
-	gd, _ := dst/p, dst%p
-	_ = is
+	gs := src / p
+	gd := dst / p
 	if gs == gd {
 		// Same pod: up to a shared level-1 router, down.
 		k := pick(p)
-		return []int{src, l1(gs, k), dst}
+		return append(buf, src, l1(gs, k), dst)
 	}
 	// Different pods: up twice to a core router, down twice.
 	k := pick(p)
 	m := pick(p)
-	return []int{src, l1(gs, k), l2(k, m), l1(gd, k), dst}
+	return append(buf, src, l1(gs, k), l2(k, m), l1(gd, k), dst)
 }
 
 // Megafly routes leaf→spine→(global)→spine→leaf, with spine choice
@@ -146,6 +176,11 @@ func (r *Megafly) Route(src, dst int, rng *rand.Rand) []int {
 	return r.t.Route(src, dst, rng)
 }
 
+// AppendPath implements Engine.
+func (r *Megafly) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
+	return r.t.AppendPath(buf, src, dst, rng)
+}
+
 // Valiant wraps a minimal engine with randomized misrouting: a path to a
 // random intermediate router followed by a minimal path to the
 // destination (§9.3). Candidates exposes the UGAL choice set: the minimal
@@ -163,18 +198,29 @@ func NewValiant(min Engine, numRouters, samples int) *Valiant {
 
 // Via returns the two-phase path src→mid→dst, deduplicating the joint.
 func (v *Valiant) Via(src, mid, dst int, rng *rand.Rand) []int {
+	return v.AppendVia(nil, src, mid, dst, rng)
+}
+
+// AppendVia is the allocation-free variant of Via: it appends the
+// two-phase path onto buf, dropping the duplicated intermediate.
+func (v *Valiant) AppendVia(buf []int, src, mid, dst int, rng *rand.Rand) []int {
 	if mid == src || mid == dst {
-		return v.Min.Route(src, dst, rng)
+		return v.Min.AppendPath(buf, src, dst, rng)
 	}
-	a := v.Min.Route(src, mid, rng)
-	b := v.Min.Route(mid, dst, rng)
-	if len(a) == 0 {
-		return b
+	n0 := len(buf)
+	buf = v.Min.AppendPath(buf, src, mid, rng)
+	if len(buf) == n0 {
+		// First leg unroutable: degrade to the second leg alone.
+		return v.Min.AppendPath(buf, mid, dst, rng)
 	}
-	if len(b) == 0 {
-		return a
+	n1 := len(buf)
+	buf = v.Min.AppendPath(buf, mid, dst, rng)
+	if len(buf) == n1 {
+		return buf // second leg unroutable: first leg alone
 	}
-	return append(a, b[1:]...)
+	// Drop the duplicated joint: buf[n1] repeats mid == buf[n1-1].
+	copy(buf[n1:], buf[n1+1:])
+	return buf[:len(buf)-1]
 }
 
 // Candidates returns the minimal path followed by Samples valiant paths.

@@ -18,6 +18,9 @@ import (
 // The router supports both supernode families: involutions (IQ, BDF,
 // Property R*) and Paley (Property R1, where f² is an automorphism and
 // arc orientation matters).
+//
+// All case analysis is written in append form over a caller-owned buffer
+// (AppendPath), so routing a packet performs zero heap allocations.
 type PolarStar struct {
 	ps   *topo.PolarStar
 	fInv []int
@@ -52,17 +55,20 @@ func (r *PolarStar) crossInv(u, v, z int) int {
 }
 
 // loopHops returns the local vertices reachable from z via the
-// loop-induced intra-supernode edges of a quadric supernode: f(z) and
-// f⁻¹(z), excluding fixed points.
-func (r *PolarStar) loopHops(z int) []int {
+// loop-induced intra-supernode edges of a quadric supernode — f(z) and
+// f⁻¹(z), excluding fixed points — as a fixed-size array plus count, so
+// the hot path never allocates.
+func (r *PolarStar) loopHops(z int) (hops [2]int, n int) {
 	f, fi := r.ps.Super.F[z], r.fInv[z]
 	switch {
 	case f == z:
-		return nil
+		return hops, 0
 	case f == fi:
-		return []int{f}
+		hops[0] = f
+		return hops, 1
 	default:
-		return []int{f, fi}
+		hops[0], hops[1] = f, fi
+		return hops, 2
 	}
 }
 
@@ -76,61 +82,70 @@ func (r *PolarStar) Dist(src, dst int) int {
 
 // Route implements Engine. The returned path is provably minimal; see the
 // exhaustive cross-check against BFS ground truth in the tests.
-func (r *PolarStar) Route(src, dst int, _ *rand.Rand) []int {
+func (r *PolarStar) Route(src, dst int, rng *rand.Rand) []int {
+	return r.AppendPath(nil, src, dst, rng)
+}
+
+// AppendPath implements Engine.
+func (r *PolarStar) AppendPath(buf []int, src, dst int, _ *rand.Rand) []int {
 	if src == dst {
-		return nil
+		return buf
 	}
 	x, xp := r.ps.GroupOf(src), r.ps.LocalOf(src)
 	y, yp := r.ps.GroupOf(dst), r.ps.LocalOf(dst)
 	switch {
 	case x == y:
-		return r.routeSameSupernode(x, xp, yp)
+		return r.appendSameSupernode(buf, x, xp, yp)
 	case r.ps.Structure.G.HasEdge(x, y):
-		return r.routeAdjacent(x, xp, y, yp)
+		return r.appendAdjacent(buf, x, xp, y, yp)
 	default:
-		return r.routeDistant(x, xp, y, yp)
+		return r.appendDistant(buf, x, xp, y, yp)
 	}
 }
 
-// routeSameSupernode handles source and destination in one supernode.
-func (r *PolarStar) routeSameSupernode(x, xp, yp int) []int {
+// appendSameSupernode handles source and destination in one supernode.
+func (r *PolarStar) appendSameSupernode(buf []int, x, xp, yp int) []int {
 	sup := r.ps.Super.G
 	quadric := r.ps.Structure.IsQuadric(x)
 	src, dst := r.node(x, xp), r.node(x, yp)
 
 	// Distance 1: supernode edge, or quadric loop edge.
 	if sup.HasEdge(xp, yp) {
-		return []int{src, dst}
+		return append(buf, src, dst)
 	}
 	if quadric {
-		for _, l := range r.loopHops(xp) {
+		lh, nl := r.loopHops(xp)
+		for _, l := range lh[:nl] {
 			if l == yp {
-				return []int{src, dst}
+				return append(buf, src, dst)
 			}
 		}
 	}
 	// Distance 2, form 1: common supernode neighbor.
 	for _, z := range sup.Neighbors(xp) {
 		if sup.HasEdge(int(z), yp) {
-			return []int{src, r.node(x, int(z)), dst}
+			return append(buf, src, r.node(x, int(z)), dst)
 		}
 	}
 	if quadric {
 		// Distance 2, loop-mixed forms.
-		for _, l := range r.loopHops(xp) {
+		lh, nl := r.loopHops(xp)
+		for _, l := range lh[:nl] {
 			if sup.HasEdge(l, yp) {
-				return []int{src, r.node(x, l), dst}
+				return append(buf, src, r.node(x, l), dst)
 			}
-			for _, l2 := range r.loopHops(l) {
+			lh2, nl2 := r.loopHops(l)
+			for _, l2 := range lh2[:nl2] {
 				if l2 == yp {
-					return []int{src, r.node(x, l), dst}
+					return append(buf, src, r.node(x, l), dst)
 				}
 			}
 		}
 		for _, z := range sup.Neighbors(xp) {
-			for _, l := range r.loopHops(int(z)) {
+			lh2, nl2 := r.loopHops(int(z))
+			for _, l := range lh2[:nl2] {
 				if l == yp {
-					return []int{src, r.node(x, int(z)), dst}
+					return append(buf, src, r.node(x, int(z)), dst)
 				}
 			}
 		}
@@ -148,7 +163,7 @@ func (r *PolarStar) routeSameSupernode(x, xp, yp int) []int {
 		// y' = f(x') case, the f-pairing realized by a second structure
 		// walk).
 		if sup.HasEdge(g1xp, g1yp) {
-			return []int{r.node(x, xp), r.node(a, g1xp), r.node(a, g1yp), r.node(x, yp)}
+			return append(buf, r.node(x, xp), r.node(a, g1xp), r.node(a, g1yp), r.node(x, yp))
 		}
 		if yp == f[xp] || yp == r.fInv[xp] {
 			// Alternating path: (x,x') → (a, g1(x')) → (w, ·) → (x, y')
@@ -157,9 +172,10 @@ func (r *PolarStar) routeSameSupernode(x, xp, yp int) []int {
 			mid := r.cross(a, w, g1xp)
 			if w == a {
 				// a is quadric: the middle hop is a loop edge at a.
-				for _, l := range r.loopHops(g1xp) {
+				lh, nl := r.loopHops(g1xp)
+				for _, l := range lh[:nl] {
 					if r.cross(a, x, l) == yp {
-						return []int{r.node(x, xp), r.node(a, g1xp), r.node(a, l), r.node(x, yp)}
+						return append(buf, r.node(x, xp), r.node(a, g1xp), r.node(a, l), r.node(x, yp))
 					}
 				}
 				continue
@@ -168,43 +184,45 @@ func (r *PolarStar) routeSameSupernode(x, xp, yp int) []int {
 				continue // degenerate: would revisit the source supernode
 			}
 			if r.cross(w, x, mid) == yp {
-				return []int{r.node(x, xp), r.node(a, g1xp), r.node(w, mid), r.node(x, yp)}
+				return append(buf, r.node(x, xp), r.node(a, g1xp), r.node(w, mid), r.node(x, yp))
 			}
 		}
 	}
 	panic(fmt.Sprintf("route: PolarStar same-supernode case fell through (x=%d x'=%d y'=%d)", x, xp, yp))
 }
 
-// routeAdjacent handles structure-adjacent supernodes; the distance is
+// appendAdjacent handles structure-adjacent supernodes; the distance is
 // always 1 or 2 (Properties R*/R1 guarantee a 2-hop form).
-func (r *PolarStar) routeAdjacent(x, xp, y, yp int) []int {
+func (r *PolarStar) appendAdjacent(buf []int, x, xp, y, yp int) []int {
 	sup := r.ps.Super.G
 	src, dst := r.node(x, xp), r.node(y, yp)
 	g := r.cross(x, y, xp)
 	// Distance 1.
 	if g == yp {
-		return []int{src, dst}
+		return append(buf, src, dst)
 	}
 	// Form 2: inter then intra.
 	if sup.HasEdge(g, yp) {
-		return []int{src, r.node(y, g), dst}
+		return append(buf, src, r.node(y, g), dst)
 	}
 	// Form 1: intra then inter.
 	if z := r.crossInv(x, y, yp); sup.HasEdge(xp, z) {
-		return []int{src, r.node(x, z), dst}
+		return append(buf, src, r.node(x, z), dst)
 	}
 	// Loop forms at quadric endpoints.
 	if r.ps.Structure.IsQuadric(x) {
-		for _, l := range r.loopHops(xp) {
+		lh, nl := r.loopHops(xp)
+		for _, l := range lh[:nl] {
 			if r.cross(x, y, l) == yp {
-				return []int{src, r.node(x, l), dst}
+				return append(buf, src, r.node(x, l), dst)
 			}
 		}
 	}
 	if r.ps.Structure.IsQuadric(y) {
-		for _, l := range r.loopHops(g) {
+		lh, nl := r.loopHops(g)
+		for _, l := range lh[:nl] {
 			if l == yp {
-				return []int{src, r.node(y, g), dst}
+				return append(buf, src, r.node(y, g), dst)
 			}
 		}
 	}
@@ -213,23 +231,23 @@ func (r *PolarStar) routeAdjacent(x, xp, y, yp int) []int {
 	w := r.ps.Structure.CommonNeighbor(x, y)
 	if w != x && w != y {
 		if r.cross(w, y, r.cross(x, w, xp)) == yp {
-			return []int{src, r.node(w, r.cross(x, w, xp)), dst}
+			return append(buf, src, r.node(w, r.cross(x, w, xp)), dst)
 		}
 	}
 	panic(fmt.Sprintf("route: PolarStar adjacent-supernode case fell through (x=%d x'=%d y=%d y'=%d)", x, xp, y, yp))
 }
 
-// routeDistant handles supernodes at structure distance 2.
-func (r *PolarStar) routeDistant(x, xp, y, yp int) []int {
+// appendDistant handles supernodes at structure distance 2.
+func (r *PolarStar) appendDistant(buf []int, x, xp, y, yp int) []int {
 	src := r.node(x, xp)
 	// The unique common neighbor of x and y in ER_q.
 	w := r.ps.Structure.CommonNeighbor(x, y)
 	mid := r.cross(x, w, xp)
 	// Distance 2: the only 2-hop form is through w.
 	if r.cross(w, y, mid) == yp {
-		return []int{src, r.node(w, mid), r.node(y, yp)}
+		return append(buf, src, r.node(w, mid), r.node(y, yp))
 	}
 	// Distance 3: hop to (w, ·), then solve the adjacent-supernode case.
-	rest := r.routeAdjacent(w, mid, y, yp)
-	return append([]int{src}, rest...)
+	buf = append(buf, src)
+	return r.appendAdjacent(buf, w, mid, y, yp)
 }

@@ -3,6 +3,13 @@
 // selection, the storage-light analytic PolarStar minpath router, and
 // topology-specific minimal routers for Dragonfly, HyperX, Fat-tree and
 // Megafly. Valiant/UGAL path selection is layered on top of any Engine.
+//
+// Every engine exposes two path APIs: Route, which returns a freshly
+// allocated path, and AppendPath, the allocation-free hot-path variant
+// that appends the path onto a caller-owned scratch buffer. The cycle
+// simulator and the analytic link-load sweeps route millions of packets;
+// they call AppendPath exclusively, so steady-state routing performs zero
+// heap allocations (see the testing.AllocsPerRun regression tests).
 package route
 
 import (
@@ -30,6 +37,12 @@ type Engine interface {
 	// diversity use rng to sample among minimal paths; deterministic
 	// engines ignore it.
 	Route(src, dst int, rng *rand.Rand) []int
+	// AppendPath appends the same path Route would return onto buf and
+	// returns the extended slice (buf unchanged for src == dst or
+	// unreachable pairs). Implementations perform no heap allocation
+	// beyond growing buf, and consume rng exactly as Route does, so the
+	// two APIs are interchangeable under a fixed seed.
+	AppendPath(buf []int, src, dst int, rng *rand.Rand) []int
 	// Dist returns the hop distance from src to dst.
 	Dist(src, dst int) int
 }
@@ -58,12 +71,21 @@ const (
 // NewTable builds the all-pairs table for g. Graphs are limited to 65534
 // vertices and diameter 254 (far beyond every evaluated configuration).
 func NewTable(g *graph.Graph, mode TableMode) *Table {
+	return NewTableInto(g, mode, nil)
+}
+
+// NewTableInto is NewTable reusing slab as the n×n distance backing when
+// it has sufficient capacity (pass the Slab of a dead Table to rebuild
+// routing tables across fault trials without reallocating).
+func NewTableInto(g *graph.Graph, mode TableMode, slab []uint8) *Table {
 	n := g.N()
-	t := &Table{g: g, dist: make([]uint8, n*n), mode: mode}
+	if cap(slab) < n*n {
+		slab = make([]uint8, n*n)
+	}
+	t := &Table{g: g, dist: slab[:n*n], mode: mode}
 	// Parallel BFS over sources.
-	parallelFor(n, func(src int) {
-		row := make([]int32, n)
-		g.BFSDistances(src, row)
+	parallelFor(n, func(src int, row []int32, scratch *graph.BFSScratch) {
+		g.BFSDistancesScratch(src, row, scratch)
 		base := src * n
 		for v, d := range row {
 			if d < 0 {
@@ -76,6 +98,10 @@ func NewTable(g *graph.Graph, mode TableMode) *Table {
 	return t
 }
 
+// Slab exposes the distance backing for reuse via NewTableInto. The table
+// must not be used after its slab has been handed to a new table.
+func (t *Table) Slab() []uint8 { return t.dist }
+
 // Dist implements Engine.
 func (t *Table) Dist(src, dst int) int {
 	d := t.dist[src*t.g.N()+dst]
@@ -87,14 +113,19 @@ func (t *Table) Dist(src, dst int) int {
 
 // Route implements Engine.
 func (t *Table) Route(src, dst int, rng *rand.Rand) []int {
+	return t.AppendPath(nil, src, dst, rng)
+}
+
+// AppendPath implements Engine.
+func (t *Table) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
 	if src == dst {
-		return nil
+		return buf
 	}
 	n := t.g.N()
 	if t.dist[src*n+dst] == 0xff {
-		return nil
+		return buf
 	}
-	path := []int{src}
+	buf = append(buf, src)
 	cur := src
 	for cur != dst {
 		d := t.dist[cur*n+dst]
@@ -113,9 +144,9 @@ func (t *Table) Route(src, dst int, rng *rand.Rand) []int {
 			}
 		}
 		cur = int(pick)
-		path = append(path, cur)
+		buf = append(buf, cur)
 	}
-	return path
+	return buf
 }
 
 // Graph returns the underlying graph.
@@ -132,14 +163,17 @@ func PathValid(g *graph.Graph, path []int) bool {
 	return true
 }
 
-// parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers.
-func parallelFor(n int, fn func(int)) {
+// parallelFor runs fn(i, row, scratch) for i in [0, n) across GOMAXPROCS
+// workers; each worker owns one reusable distance row and BFS scratch.
+func parallelFor(n int, fn func(int, []int32, *graph.BFSScratch)) {
 	workers := workerCount(n)
 	done := make(chan struct{}, workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
+			row := make([]int32, n)
+			var scratch graph.BFSScratch
 			for i := w; i < n; i += workers {
-				fn(i)
+				fn(i, row, &scratch)
 			}
 			done <- struct{}{}
 		}(w)

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+)
+
+// steadyStateAllocs drives one engine to its steady state, then measures
+// heap allocations per simulated cycle.
+func steadyStateAllocs(t *testing.T, specName string, routing func(*Spec) Routing, load float64) float64 {
+	t.Helper()
+	spec := MustNewSpec(specName)
+	p := DefaultParams(1)
+	p.Warmup, p.Measure, p.Drain = 100000, 100000, 0 // keep generation alive throughout
+	pattern, err := spec.Pattern("uniform", p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(p, spec.Graph, spec.Config(), routing(spec), pattern)
+	eng.initGeneration(load / float64(p.PacketFlits))
+	// Warm every queue, ring and scratch buffer to its high-water mark.
+	var tcyc int64
+	for ; tcyc < 3000; tcyc++ {
+		eng.stepCycle(tcyc)
+	}
+	return testing.AllocsPerRun(500, func() {
+		eng.stepCycle(tcyc)
+		tcyc++
+	})
+}
+
+// TestSteadyStateCycleZeroAllocs is the simulator hot-loop regression
+// guard: once warmed up, a simulation cycle — packet generation, routing,
+// VC allocation, forwarding, delivery — performs zero heap allocations,
+// for both the analytic-minimal and the adaptive UGAL configurations.
+func TestSteadyStateCycleZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name    string
+		routing func(*Spec) Routing
+	}{
+		{"min", func(s *Spec) Routing { return s.MinRouting() }},
+		{"ugal", func(s *Spec) Routing { return s.UGALRouting(4) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if allocs := steadyStateAllocs(t, "ps-iq-small", c.routing, 0.3); allocs != 0 {
+				t.Errorf("steady-state cycle allocates %.2f objects, want 0", allocs)
+			}
+		})
+	}
+}

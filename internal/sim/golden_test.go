@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+// The pinned results below were captured from the pre-optimization
+// simulator (allocating Route calls, per-engine channel maps). The
+// allocation-free AppendPath path must consume the RNG in exactly the
+// same order, so every metric reproduces bit for bit — across the
+// analytic PolarStar router (MIN), the Valiant/UGAL wrapper (which mixes
+// intermediate draws with per-leg routing draws), and the shuffling
+// HyperX router.
+
+func goldenRun(t *testing.T, specName string, routing func(*Spec) Routing) Result {
+	t.Helper()
+	spec := MustNewSpec(specName)
+	p := DefaultParams(1)
+	p.Warmup, p.Measure, p.Drain = 500, 1000, 1500
+	pattern, err := spec.Pattern("uniform", p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(p, spec.Graph, spec.Config(), routing(spec), pattern)
+	return eng.Run(0.3)
+}
+
+func checkGolden(t *testing.T, res Result, avgLat float64, maxLat int64, thr float64) {
+	t.Helper()
+	if res.AvgLatency != avgLat {
+		t.Errorf("avg latency = %.17g, want %.17g", res.AvgLatency, avgLat)
+	}
+	if res.MaxLatency != maxLat {
+		t.Errorf("max latency = %d, want %d", res.MaxLatency, maxLat)
+	}
+	if res.Throughput != thr {
+		t.Errorf("throughput = %.17g, want %.17g", res.Throughput, thr)
+	}
+	if res.DeliveredFrac != 1 {
+		t.Errorf("delivered fraction = %.17g, want 1", res.DeliveredFrac)
+	}
+}
+
+func TestGoldenPSIQSmallMIN(t *testing.T) {
+	res := goldenRun(t, "ps-iq-small", func(s *Spec) Routing { return s.MinRouting() })
+	checkGolden(t, res, 20.750880383327559, 59, 0.29801290322580642)
+	if res.Backlog != 0 {
+		t.Errorf("backlog = %d, want 0", res.Backlog)
+	}
+}
+
+func TestGoldenPSIQSmallUGAL(t *testing.T) {
+	res := goldenRun(t, "ps-iq-small", func(s *Spec) Routing { return s.UGALRouting(4) })
+	checkGolden(t, res, 22.870146814245569, 66, 0.29999139784946238)
+}
+
+func TestGoldenHXSmallMIN(t *testing.T) {
+	res := goldenRun(t, "hx-small", func(s *Spec) Routing { return s.MinRouting() })
+	checkGolden(t, res, 18.20560287182375, 62, 0.29597916666666668)
+}

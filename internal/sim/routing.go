@@ -15,8 +15,8 @@ type Min struct {
 }
 
 // Path implements Routing.
-func (m Min) Path(src, dst int, _ OccFn, rng *rand.Rand) []int {
-	return m.Engine.Route(src, dst, rng)
+func (m Min) Path(buf []int, src, dst int, _ OccFn, rng *rand.Rand) []int {
+	return m.Engine.AppendPath(buf, src, dst, rng)
 }
 
 // MaxHops implements Routing.
@@ -32,6 +32,11 @@ func (m Min) MaxHops() int { return m.Hops }
 // configuration) uses only the source router's local first-hop queue;
 // UGAL-G (ablation) uses the maximum queue along the whole candidate
 // path — an idealized global-information router.
+//
+// A UGAL value owns two internal path buffers (the incumbent and the
+// candidate under evaluation) so per-packet path selection allocates
+// nothing once the buffers have grown; it is therefore a pointer type and
+// serves one simulator goroutine.
 type UGAL struct {
 	Min     route.Engine
 	Mids    []int // candidate intermediate routers (nil: all 0..N-1)
@@ -40,11 +45,17 @@ type UGAL struct {
 	Hops    int   // max hops of a Valiant path (2× minimal diameter)
 	PktSize int   // flits per packet, for the zero-queue tie-break
 	Global  bool  // UGAL-G: score with the max queue along the path
+
+	bufA, bufB []int // incumbent / candidate scratch
 }
 
-// Path implements Routing.
-func (u UGAL) Path(src, dst int, occ OccFn, rng *rand.Rand) []int {
-	best := u.Min.Route(src, dst, rng)
+// Path implements Routing. The RNG consumption order matches the
+// pre-buffer implementation exactly: one draw sequence for the minimal
+// path, then per sample the intermediate draw followed by both legs
+// (legs are routed even when one turns out empty, as before).
+func (u *UGAL) Path(buf []int, src, dst int, occ OccFn, rng *rand.Rand) []int {
+	best := u.Min.AppendPath(u.bufA[:0], src, dst, rng)
+	u.bufA = best
 	bestScore := u.score(best, occ)
 	for s := 0; s < u.Samples; s++ {
 		var mid int
@@ -56,23 +67,28 @@ func (u UGAL) Path(src, dst int, occ OccFn, rng *rand.Rand) []int {
 		if mid == src || mid == dst {
 			continue
 		}
-		a := u.Min.Route(src, mid, rng)
-		b := u.Min.Route(mid, dst, rng)
-		if len(a) == 0 || len(b) == 0 {
-			continue
+		cand := u.Min.AppendPath(u.bufB[:0], src, mid, rng)
+		n1 := len(cand)
+		cand = u.Min.AppendPath(cand, mid, dst, rng)
+		u.bufB = cand
+		if n1 == 0 || len(cand) == n1 {
+			continue // a leg is unroutable: candidate invalid
 		}
-		cand := append(append(make([]int, 0, len(a)+len(b)-1), a...), b[1:]...)
+		// Drop the duplicated joint (cand[n1] repeats mid == cand[n1-1]).
+		copy(cand[n1:], cand[n1+1:])
+		cand = cand[:len(cand)-1]
 		if sc := u.score(cand, occ); sc < bestScore {
 			best, bestScore = cand, sc
+			u.bufA, u.bufB = u.bufB, u.bufA
 		}
 	}
-	return best
+	return append(buf, best...)
 }
 
 // score is (queue occupancy + one packet) × hop count: the packet's own
 // serialization provides the minimal-path bias at zero load. UGAL-L
 // reads the first hop's queue; UGAL-G the maximum along the path.
-func (u UGAL) score(path []int, occ OccFn) int {
+func (u *UGAL) score(path []int, occ OccFn) int {
 	if len(path) < 2 {
 		return 0
 	}
@@ -89,4 +105,4 @@ func (u UGAL) score(path []int, occ OccFn) int {
 }
 
 // MaxHops implements Routing.
-func (u UGAL) MaxHops() int { return u.Hops }
+func (u *UGAL) MaxHops() int { return u.Hops }

@@ -54,9 +54,12 @@ func DefaultParams(seed int64) Params {
 
 // Routing chooses a router path for each packet at injection time.
 type Routing interface {
-	// Path returns the router path (src..dst inclusive) for a packet.
+	// Path appends the router path (src..dst inclusive) for a packet onto
+	// buf and returns the extended slice (buf unchanged when unroutable).
 	// occ exposes the local channel occupancy for adaptive decisions.
-	Path(src, dst int, occ OccFn, rng *rand.Rand) []int
+	// Implementations allocate nothing beyond growing buf and any
+	// internal scratch, so steady-state packet injection is heap-free.
+	Path(buf []int, src, dst int, occ OccFn, rng *rand.Rand) []int
 	// MaxHops bounds the number of links of any returned path; it sizes
 	// the VC array.
 	MaxHops() int
@@ -86,9 +89,13 @@ func (q *pktQueue) front() *packet { return &q.buf[q.head] }
 
 func (q *pktQueue) push(p packet) { q.buf = append(q.buf, p) }
 
+// pop compacts whenever the dead prefix reaches half the buffer: each
+// element is copied at most once per residence on average (amortized O(1))
+// and the buffer's high-water capacity stays ~2× the live occupancy, so
+// queues reach a steady state where push never reallocates.
 func (q *pktQueue) pop() {
 	q.head++
-	if q.head > 64 && q.head*2 >= len(q.buf) {
+	if q.head*2 >= len(q.buf) {
 		n := copy(q.buf, q.buf[q.head:])
 		q.buf = q.buf[:n]
 		q.head = 0
@@ -110,11 +117,10 @@ type Engine struct {
 	cfg     traffic.Config
 	vcs     int
 
-	// Channels: directed edges, indexed per router in neighbor order.
-	chanOf  [][]int32 // chanOf[r][k]: channel id of r → k-th neighbor
-	chanDst []int32   // channel id -> destination router
-	busy    []int64   // channel id -> busy-until cycle
-	occ     []int32   // (channel id * vcs + vc) -> queued+reserved flits
+	// Channels are the graph's dense directed-channel ids: channel
+	// graph.FirstChannel(r)+k is r → its k-th neighbor.
+	busy []int64 // channel id -> busy-until cycle
+	occ  []int32 // (channel id * vcs + vc) -> queued+reserved flits
 
 	// Queues ("units"): per channel per VC input queues at the channel's
 	// destination router, plus one injection queue per endpoint.
@@ -132,6 +138,11 @@ type Engine struct {
 	arrivals [][]inflight // ring buffer by cycle
 	now      int64
 	rng      *rand.Rand
+
+	// Injection scratch, bound once so steady-state cycles allocate
+	// nothing: the reusable path buffer and the Occupancy method value.
+	pathBuf []int
+	occFn   OccFn
 
 	// Generation calendar: a binary min-heap of (cycle<<24 | endpoint)
 	// events, equivalent to per-cycle Bernoulli draws but skipping idle
@@ -170,34 +181,17 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 		e.vcs = 1
 	}
 	n := g.N()
-	e.chanOf = make([][]int32, n)
-	nextChan := int32(0)
-	for r := 0; r < n; r++ {
-		nb := g.Neighbors(r)
-		row := make([]int32, len(nb))
-		for k := range nb {
-			row[k] = nextChan
-			nextChan++
-		}
-		e.chanOf[r] = row
-	}
-	e.chanDst = make([]int32, nextChan)
-	for r := 0; r < n; r++ {
-		nb := g.Neighbors(r)
-		for k, w := range nb {
-			e.chanDst[e.chanOf[r][k]] = w
-		}
-	}
-	e.busy = make([]int64, nextChan)
-	e.occ = make([]int32, int(nextChan)*e.vcs)
+	nChans := g.NumChannels()
+	e.busy = make([]int64, nChans)
+	e.occ = make([]int32, nChans*e.vcs)
 
-	numChanUnits := int(nextChan) * e.vcs
+	numChanUnits := nChans * e.vcs
 	e.injBase = numChanUnits
 	e.queues = make([]pktQueue, numChanUnits+e.cfg.Endpoints())
 	e.unitHome = make([]int32, len(e.queues))
-	for c := int32(0); c < nextChan; c++ {
+	for c := 0; c < nChans; c++ {
 		for vc := 0; vc < e.vcs; vc++ {
-			e.unitHome[int(c)*e.vcs+vc] = e.chanDst[c]
+			e.unitHome[c*e.vcs+vc] = int32(g.ChannelTo(c))
 		}
 	}
 	for ep := 0; ep < e.cfg.Endpoints(); ep++ {
@@ -209,36 +203,19 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 	e.injBusy = make([]int64, e.cfg.Endpoints())
 	ringLen := params.PacketFlits + params.LinkLatency + 2
 	e.arrivals = make([][]inflight, ringLen)
+	e.occFn = e.Occupancy
 	return e
-}
-
-// chanTo returns the channel id r → next, or -1 when not adjacent.
-func (e *Engine) chanTo(r, next int) int32 {
-	nb := e.g.Neighbors(r)
-	lo, hi := 0, len(nb)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if nb[mid] < int32(next) {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(nb) && nb[lo] == int32(next) {
-		return e.chanOf[r][lo]
-	}
-	return -1
 }
 
 // Occupancy implements OccFn over all VCs of channel u→v.
 func (e *Engine) Occupancy(u, v int) int {
-	c := e.chanTo(u, v)
+	c := e.g.ChannelID(u, v)
 	if c < 0 {
 		return 0
 	}
 	s := int32(0)
 	for vc := 0; vc < e.vcs; vc++ {
-		s += e.occ[int(c)*e.vcs+vc]
+		s += e.occ[c*e.vcs+vc]
 	}
 	return int(s)
 }
@@ -259,63 +236,72 @@ func (e *Engine) Run(load float64) Result {
 		panic("sim: Engine.Run called twice; engines are single-use")
 	}
 	total := int64(e.p.Warmup + e.p.Measure + e.p.Drain)
-	S := int64(e.p.PacketFlits)
-	ringLen := int64(len(e.arrivals))
 	e.initGeneration(load / float64(e.p.PacketFlits))
-	for e.now = 0; e.now < total; e.now++ {
-		t := e.now
-		// 1. Deliver in-flight packets arriving this cycle.
-		slot := t % ringLen
-		for _, a := range e.arrivals[slot] {
-			q := &e.queues[a.unit]
-			q.push(a.pkt)
-			e.markActive(a.unit)
+	for t := int64(0); t < total; t++ {
+		e.stepCycle(t)
+	}
+	e.now = total
+	return e.result(load)
+}
+
+// stepCycle advances the simulation by one cycle: deliveries, packet
+// generation, per-router arbitration, and the measurement-end snapshot.
+// In steady state (all queues, rings and scratch buffers at their
+// high-water capacity) a cycle performs zero heap allocations — see the
+// AllocsPerRun regression test.
+func (e *Engine) stepCycle(t int64) {
+	e.now = t
+	S := int64(e.p.PacketFlits)
+	// 1. Deliver in-flight packets arriving this cycle.
+	slot := t % int64(len(e.arrivals))
+	for _, a := range e.arrivals[slot] {
+		q := &e.queues[a.unit]
+		q.push(a.pkt)
+		e.markActive(a.unit)
+	}
+	e.arrivals[slot] = e.arrivals[slot][:0]
+
+	// 2. Generate new packets (stops at drain start so the network
+	// can empty; enforced by the calendar horizon).
+	e.generate(t)
+
+	// 3. Arbitrate per router.
+	for r := 0; r < e.g.N(); r++ {
+		units := e.active[r]
+		if len(units) == 0 {
+			continue
 		}
-		e.arrivals[slot] = e.arrivals[slot][:0]
-
-		// 2. Generate new packets (stops at drain start so the network
-		// can empty; enforced by the calendar horizon).
-		e.generate(t)
-
-		// 3. Arbitrate per router.
-		for r := 0; r < e.g.N(); r++ {
-			units := e.active[r]
-			if len(units) == 0 {
+		kept := units[:0]
+		// Round-robin: rotate by cycle to avoid static priority.
+		off := int(t) % len(units)
+		for i := 0; i < len(units); i++ {
+			unit := units[(i+off)%len(units)]
+			q := &e.queues[unit]
+			if q.empty() {
+				e.inActive[unit] = false
 				continue
 			}
-			kept := units[:0]
-			// Round-robin: rotate by cycle to avoid static priority.
-			off := int(t) % len(units)
-			for i := 0; i < len(units); i++ {
-				unit := units[(i+off)%len(units)]
-				q := &e.queues[unit]
-				if q.empty() {
-					e.inActive[unit] = false
-					continue
-				}
-				e.tryForward(r, unit, q, S)
-				if q.empty() {
-					e.inActive[unit] = false
-				}
+			e.tryForward(r, unit, q, S)
+			if q.empty() {
+				e.inActive[unit] = false
 			}
-			// Rebuild the active list without emptied units (preserving
-			// original order for fairness stability).
-			for _, unit := range units {
-				if e.inActive[unit] {
-					kept = append(kept, unit)
-				}
-			}
-			e.active[r] = kept
 		}
-		if t == int64(e.p.Warmup+e.p.Measure)-1 {
-			// Source backlog only: packets still waiting in injection
-			// queues (in-flight packets are not backlog).
-			for i := e.injBase; i < len(e.queues); i++ {
-				e.backlogMeasEnd += e.queues[i].len()
+		// Rebuild the active list without emptied units (preserving
+		// original order for fairness stability).
+		for _, unit := range units {
+			if e.inActive[unit] {
+				kept = append(kept, unit)
 			}
+		}
+		e.active[r] = kept
+	}
+	if t == int64(e.p.Warmup+e.p.Measure)-1 {
+		// Source backlog only: packets still waiting in injection
+		// queues (in-flight packets are not backlog).
+		for i := e.injBase; i < len(e.queues); i++ {
+			e.backlogMeasEnd += e.queues[i].len()
 		}
 	}
-	return e.result(load)
 }
 
 // heapPush/heapPop implement a binary min-heap over packed
@@ -411,7 +397,8 @@ func (e *Engine) generate(t int64) {
 			pkt.path[0] = int32(srcR)
 			pkt.nPath = 1
 		} else {
-			path := e.routing.Path(srcR, dstR, e.Occupancy, e.rng)
+			e.pathBuf = e.routing.Path(e.pathBuf[:0], srcR, dstR, e.occFn, e.rng)
+			path := e.pathBuf
 			if len(path) == 0 {
 				// Unroutable (degraded topologies): the packet is lost.
 				// It still counts as generated, so DeliveredFrac reflects
@@ -466,7 +453,7 @@ func (e *Engine) tryForward(r int, unit int32, q *pktQueue, S int64) {
 			return
 		}
 		next := int(pkt.path[pkt.hop+1])
-		c := e.chanTo(r, next)
+		c := e.g.ChannelID(r, next)
 		if c < 0 {
 			panic("sim: packet path uses a non-edge")
 		}

@@ -183,7 +183,7 @@ func TestUGALPathsRespectVCBound(t *testing.T) {
 		if src == dst {
 			continue
 		}
-		path := r.Path(src, dst, occ, rng)
+		path := r.Path(nil, src, dst, occ, rng)
 		if len(path)-1 > r.MaxHops() {
 			t.Fatalf("UGAL path %v exceeds MaxHops %d", path, r.MaxHops())
 		}

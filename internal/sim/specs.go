@@ -45,7 +45,7 @@ func (s *Spec) MinRouting() Routing {
 // UGALRouting returns the §9.3 UGAL-L adapter with the paper's 4 sampled
 // Valiant intermediates.
 func (s *Spec) UGALRouting(pktFlits int) Routing {
-	return UGAL{
+	return &UGAL{
 		Min:     s.MinEngine,
 		Mids:    s.UGALMids,
 		N:       s.Graph.N(),
@@ -58,7 +58,7 @@ func (s *Spec) UGALRouting(pktFlits int) Routing {
 // UGALGRouting returns the idealized global-information UGAL-G variant
 // (ablation; not a paper configuration).
 func (s *Spec) UGALGRouting(pktFlits int) Routing {
-	u := s.UGALRouting(pktFlits).(UGAL)
+	u := s.UGALRouting(pktFlits).(*UGAL)
 	u.Global = true
 	return u
 }
@@ -132,6 +132,14 @@ func MustNewSpec(name string) *Spec {
 // so callers should remove few enough links to keep hosts connected —
 // or accept DeliveredFrac < 1.
 func (s *Spec) Degraded(removed [][2]int) *Spec {
+	return s.DegradedInto(removed, nil)
+}
+
+// DegradedInto is Degraded reusing slab as the routing-table backing (see
+// route.NewTableInto). Sweeps that degrade the same spec repeatedly pass
+// the previous degraded spec's TableSlab to avoid reallocating the n×n
+// distance table on every trial.
+func (s *Spec) DegradedInto(removed [][2]int, slab []uint8) *Spec {
 	g := s.Graph.RemoveEdges(removed)
 	d := int(g.Diameter())
 	if d < 0 {
@@ -144,10 +152,19 @@ func (s *Spec) Degraded(removed [][2]int) *Spec {
 		Hosts:     s.Hosts,
 		NumGroups: s.NumGroups,
 		GroupOf:   s.GroupOf,
-		MinEngine: route.NewTable(g, route.MultiPath),
+		MinEngine: route.NewTableInto(g, route.MultiPath, slab),
 		MinHops:   d,
 		UGALMids:  s.UGALMids,
 	}
+}
+
+// TableSlab returns the distance-table backing of a table-routed spec for
+// reuse via DegradedInto, or nil when the spec routes analytically.
+func (s *Spec) TableSlab() []uint8 {
+	if t, ok := s.MinEngine.(*route.Table); ok {
+		return t.Slab()
+	}
+	return nil
 }
 
 func polarStarSpec(name string, q, dPrime int, kind topo.SupernodeKind, p int) (*Spec, error) {

@@ -97,6 +97,38 @@ func TestDegradedSpecSimulates(t *testing.T) {
 	}
 }
 
+// TestDegradedIntoReusesSlab: rebuilding routing tables across repeated
+// degradations through DegradedInto must give exactly the same tables as
+// fresh construction — while reusing one n×n distance slab.
+func TestDegradedIntoReusesSlab(t *testing.T) {
+	spec := MustNewSpec("ps-iq-small")
+	edges := spec.Graph.Edges()
+	rng := rand.New(rand.NewSource(33))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	var slab []uint8
+	var prevSlab *uint8
+	for _, k := range []int{10, 40, 80} {
+		deg := spec.DegradedInto(edges[:k], slab)
+		fresh := spec.Degraded(edges[:k])
+		for src := 0; src < spec.Graph.N(); src += 17 {
+			for dst := 0; dst < spec.Graph.N(); dst += 13 {
+				if a, b := deg.MinEngine.Dist(src, dst), fresh.MinEngine.Dist(src, dst); a != b {
+					t.Fatalf("k=%d: dist(%d,%d) = %d with reused slab, %d fresh", k, src, dst, a, b)
+				}
+			}
+		}
+		slab = deg.TableSlab()
+		if slab == nil {
+			t.Fatal("degraded spec did not expose a table slab")
+		}
+		if prevSlab != nil && &slab[0] != prevSlab {
+			t.Error("slab was reallocated across degradations")
+		}
+		prevSlab = &slab[0]
+	}
+}
+
 // TestDiameter2ExtensionSpecs: the PolarFly and SlimFly diameter-2
 // extension specs simulate correctly.
 func TestDiameter2ExtensionSpecs(t *testing.T) {
