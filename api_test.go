@@ -124,7 +124,7 @@ func TestFacadeFaultAndMotif(t *testing.T) {
 		t.Error("zero-failure network disconnected")
 	}
 	spec, _ := polarstar.NewSpec("ps-iq-small")
-	net := polarstar.NewFlowNetwork(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids,
+	net := polarstar.NewFlowNetwork(spec.MinEngine, spec.Config(), spec.Graph, spec.UGALMids,
 		polarstar.DefaultFlowParams(1))
 	if tm := polarstar.RunAllreduce(net, 32, 4096, 1); tm <= 0 {
 		t.Error("allreduce time non-positive")
@@ -166,7 +166,7 @@ func TestFacadeExtensions(t *testing.T) {
 		t.Errorf("girth = %d", g)
 	}
 	// Collective variants.
-	net := polarstar.NewFlowNetwork(spec.MinEngine, spec.Config(), spec.Graph.N(), nil,
+	net := polarstar.NewFlowNetwork(spec.MinEngine, spec.Config(), spec.Graph, nil,
 		polarstar.DefaultFlowParams(1))
 	if tm := polarstar.RunAllreduceRing(net, 16, 4096, 1); tm <= 0 {
 		t.Error("ring allreduce failed")

@@ -197,7 +197,7 @@ func BenchmarkFig11Allreduce(b *testing.B) {
 			for _, adaptive := range []bool{false, true} {
 				p := flowsim.DefaultParams(1)
 				p.Adaptive = adaptive
-				net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids, p)
+				net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph, spec.UGALMids, p)
 				t := motifs.Allreduce(net, r, 64*1024, iters)
 				if i == 0 {
 					suffix := "_min_us"
@@ -229,7 +229,7 @@ func BenchmarkFig11Sweep3D(b *testing.B) {
 			for _, adaptive := range []bool{false, true} {
 				p := flowsim.DefaultParams(1)
 				p.Adaptive = adaptive
-				net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids, p)
+				net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph, spec.UGALMids, p)
 				t := motifs.Sweep3D(net, s, s, 4096, 100, iters)
 				if i == 0 {
 					suffix := "_min_us"

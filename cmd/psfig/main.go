@@ -295,7 +295,7 @@ func fig11(c ctx) error {
 			for _, adaptive := range []bool{false, true} {
 				p := flowsim.DefaultParams(c.seed)
 				p.Adaptive = adaptive
-				net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids, p)
+				net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph, spec.UGALMids, p)
 				var t float64
 				if motif == "allreduce" {
 					t = motifs.Allreduce(net, r, 64*1024, 10)

@@ -8,14 +8,22 @@
 //	psgen -topo hyperx -dims 9x9x8                            # 3-D HyperX
 //	psgen -topo er -q 11 | head                               # ER_11 factor
 //	psgen -topo stats -q 11 -dprime 3 -kind iq                # print stats only
+//	psgen -topo polarstar -kind iq -dprime 3 -sweep 5-16      # stats per q
+//
+// -sweep runs the -stats analysis for every q in the given range. The
+// sweep distributes topology points over a worker pool, each worker
+// reusing one bit-parallel BFS scratch arena across its graphs; lines
+// are printed in q order regardless of worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 
 	"polarstar"
 )
@@ -36,6 +44,7 @@ func main() {
 		out      = flag.String("o", "", "output file (default stdout)")
 		stats    = flag.Bool("stats", false, "print order/degree/diameter instead of edges")
 		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list")
+		sweep    = flag.String("sweep", "", `q-sweep range "lo-hi": print -stats lines for every q`)
 	)
 	flag.Parse()
 
@@ -43,15 +52,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *sweep != "" {
+		if err := runSweep(*sweep, *topoName, kind, *dPrime, *a, *h, *rho, *p, *n, *dims, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	g, err := build(*topoName, kind, *q, *dPrime, *a, *h, *rho, *p, *n, *dims, *seed)
 	if err != nil {
 		fatal(err)
 	}
 	if *stats {
 		s := g.AllPairsStats()
-		girth := g.Girth()
-		fmt.Printf("%s: n=%d m=%d maxdeg=%d diameter=%d avgpath=%.3f girth=%d connected=%v\n",
-			g.Name(), g.N(), g.M(), g.MaxDegree(), s.Diameter, s.AvgPath, girth, s.Connected)
+		fmt.Print(statsLine(g, s))
 		return
 	}
 	w := os.Stdout
@@ -72,6 +85,62 @@ func main() {
 	if err := g.WriteEdgeList(w); err != nil {
 		fatal(err)
 	}
+}
+
+func statsLine(g *polarstar.Graph, s polarstar.PathStats) string {
+	return fmt.Sprintf("%s: n=%d m=%d maxdeg=%d diameter=%d avgpath=%.3f girth=%d connected=%v\n",
+		g.Name(), g.N(), g.M(), g.MaxDegree(), s.Diameter, s.AvgPath, g.Girth(), s.Connected)
+}
+
+// runSweep prints a -stats line for every q in the range. Points are
+// strided over a worker pool; each worker keeps one BitBFSScratch for
+// all of its graphs, and output is assembled in q order.
+func runSweep(rng, topoName string, kind polarstar.SupernodeKind, dPrime, a, h, rho, p, n int, dims string, seed int64) error {
+	lo, hi, err := parseRange(rng)
+	if err != nil {
+		return err
+	}
+	lines := make([]string, hi-lo+1)
+	workers := min(runtime.GOMAXPROCS(0), len(lines))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var scratch polarstar.BitBFSScratch
+			for i := w; i < len(lines); i += workers {
+				q := lo + i
+				g, err := build(topoName, kind, q, dPrime, a, h, rho, p, n, dims, seed)
+				if err != nil {
+					lines[i] = fmt.Sprintf("q=%d: skipped (%v)\n", q, err)
+					continue
+				}
+				lines[i] = statsLine(g, g.AllPairsStatsSerial(&scratch))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, line := range lines {
+		fmt.Print(line)
+	}
+	return nil
+}
+
+func parseRange(s string) (lo, hi int, err error) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf(`bad -sweep %q: want "lo-hi"`, s)
+	}
+	if lo, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, fmt.Errorf("bad -sweep %q: %v", s, err)
+	}
+	if hi, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, fmt.Errorf("bad -sweep %q: %v", s, err)
+	}
+	if lo < 1 || hi < lo {
+		return 0, 0, fmt.Errorf("bad -sweep %q: need 1 <= lo <= hi", s)
+	}
+	return lo, hi, nil
 }
 
 func build(name string, kind polarstar.SupernodeKind, q, dPrime, a, h, rho, p, n int, dims string, seed int64) (*polarstar.Graph, error) {

@@ -42,7 +42,7 @@ func main() {
 		run := func(adaptive bool) float64 {
 			p := flowsim.DefaultParams(*seed)
 			p.Adaptive = adaptive
-			net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids, p)
+			net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph, spec.UGALMids, p)
 			r := *ranks
 			if r > spec.Endpoints() {
 				r = spec.Endpoints()

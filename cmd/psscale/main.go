@@ -8,8 +8,13 @@
 //	psscale -fig 1 -lo 8 -hi 64
 //	psscale -fig 4
 //	psscale -fig 7 -lo 8 -hi 32
+//	psscale -fig 7 -measure -lo 8 -hi 24 -maxorder 20000
 //	psscale -table 1
 //	psscale -headline
+//
+// With -measure, fig 7 constructs every feasible configuration up to
+// -maxorder routers and verifies its exact diameter and mean path length
+// with the bit-parallel all-pairs BFS engine.
 package main
 
 import (
@@ -29,6 +34,8 @@ func main() {
 		hi       = flag.Int("hi", 64, "highest radix")
 		withSF   = flag.Bool("sf", false, "include Spectralfly diameter-3 design points in fig 1 (slow: explicit LPS construction)")
 		sfCap    = flag.Int("sfcap", 30000, "order cap for Spectralfly candidates")
+		measure  = flag.Bool("measure", false, "fig 7: construct each configuration and measure exact diameter/APL")
+		maxOrder = flag.Int("maxorder", 20000, "order cap for -measure construction")
 	)
 	flag.Parse()
 
@@ -42,6 +49,10 @@ func main() {
 	case *fig == 4:
 		moore.WriteFig4(os.Stdout, moore.Fig4(*lo, *hi))
 	case *fig == 7:
+		if *measure {
+			moore.WriteFig7Measured(os.Stdout, *lo, *hi, *maxOrder)
+			break
+		}
 		moore.WriteFig7(os.Stdout, *lo, *hi)
 	case *table == 1:
 		fmt.Print(moore.Table1)

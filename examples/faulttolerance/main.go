@@ -36,7 +36,7 @@ func main() {
 	fmt.Println("\n64-rank 64KB Allreduce, MIN routing, flow-level model:")
 	for _, specName := range []string{"ps-iq-small", "df-small"} {
 		spec, _ := polarstar.NewSpec(specName)
-		net := polarstar.NewFlowNetwork(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids,
+		net := polarstar.NewFlowNetwork(spec.MinEngine, spec.Config(), spec.Graph, spec.UGALMids,
 			polarstar.DefaultFlowParams(1))
 		t := polarstar.RunAllreduce(net, 64, 64*1024, 1)
 		fmt.Printf("  %-12s %.1f us\n", spec.Name, t/1000)

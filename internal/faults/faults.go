@@ -50,6 +50,7 @@ type sweeper struct {
 	scratch graph.FilterScratch
 	dist    []int32
 	bfs     graph.BFSScratch
+	bitbfs  graph.BitBFSScratch // arena of the per-point degraded stats
 	inHosts []bool
 }
 
@@ -87,13 +88,9 @@ func (sw *sweeper) connected(h *graph.Graph, hosts Hosts) bool {
 		return true
 	}
 	if hosts == nil {
-		sw.dist = h.BFSDistancesScratch(0, sw.dist, &sw.bfs)
-		for _, d := range sw.dist {
-			if d < 0 {
-				return false
-			}
-		}
-		return true
+		ok, dist := h.IsConnectedScratch(sw.dist, &sw.bfs)
+		sw.dist = dist
+		return ok
 	}
 	ok, dist := h.ConnectedSubset(hosts, sw.dist, &sw.bfs)
 	sw.dist = dist
@@ -101,7 +98,9 @@ func (sw *sweeper) connected(h *graph.Graph, hosts Hosts) bool {
 }
 
 // stats computes diameter and average path length restricted to host
-// pairs of h.
+// pairs of h, 64 BFS sources per bit-parallel traversal. Sums are
+// integers, so the results are bit-identical to the scalar
+// one-source-at-a-time measurement the sweep used before.
 func (sw *sweeper) stats(h *graph.Graph, hosts Hosts) (int32, float64, bool) {
 	if hosts == nil {
 		s := h.AllPairsStats()
@@ -115,24 +114,27 @@ func (sw *sweeper) stats(h *graph.Graph, hosts Hosts) (int32, float64, bool) {
 	}
 	var diam int32
 	var sum, pairs int64
-	connected := true
-	for _, src := range hosts {
-		sw.dist = h.BFSDistancesScratch(src, sw.dist, &sw.bfs)
-		for v, d := range sw.dist {
-			if !sw.inHosts[v] || v == src {
-				continue
+	var srcs [64]int32
+	for base := 0; base < len(hosts); base += 64 {
+		lanes := len(hosts) - base
+		if lanes > 64 {
+			lanes = 64
+		}
+		for i := 0; i < lanes; i++ {
+			srcs[i] = int32(hosts[base+i])
+		}
+		st, _ := h.BitBFSBatch(srcs[:lanes], &sw.bitbfs, sw.inHosts, nil)
+		for l := 0; l < lanes; l++ {
+			if st.Ecc[l] > diam {
+				diam = st.Ecc[l]
 			}
-			if d < 0 {
-				connected = false
-				continue
-			}
-			if d > diam {
-				diam = d
-			}
-			sum += int64(d)
-			pairs++
+			sum += st.Sum[l]
+			pairs += st.Reached[l]
 		}
 	}
+	// Every host reaches all len(hosts)−1 others iff the pair count is
+	// full — the same connectivity verdict the scalar scan produced.
+	connected := pairs == int64(len(hosts))*int64(len(hosts)-1)
 	avg := 0.0
 	if pairs > 0 {
 		avg = float64(sum) / float64(pairs)

@@ -1,0 +1,62 @@
+package flowsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"polarstar/internal/route"
+	"polarstar/internal/topo"
+	"polarstar/internal/traffic"
+)
+
+// TestSendAllocFree pins the satellite guarantee: after warm-up (path
+// buffers grown to capacity), Send performs zero allocations per message
+// in both oblivious and adaptive modes.
+func TestSendAllocFree(t *testing.T) {
+	for _, mode := range []struct {
+		name     string
+		adaptive bool
+	}{{"MIN", false}, {"UGAL", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			n, ps := testNetwork(mode.adaptive, 11)
+			rng := rand.New(rand.NewSource(7))
+			eps := 2 * ps.G.N()
+			// Warm-up: grow pathBuf/candBuf to their steady-state capacity.
+			for i := 0; i < 200; i++ {
+				n.Send(rng.Intn(eps), rng.Intn(eps), 1024, float64(i))
+			}
+			at := 200.0
+			allocs := testing.AllocsPerRun(500, func() {
+				n.Send(rng.Intn(eps), rng.Intn(eps), 1024, at)
+				at++
+			})
+			if allocs != 0 {
+				t.Errorf("%s Send allocates %.1f allocs/op in steady state, want 0", mode.name, allocs)
+			}
+		})
+	}
+}
+
+func benchSend(b *testing.B, adaptive bool) {
+	ps := topo.MustNewPolarStar(7, 4, topo.KindIQ)
+	p := DefaultParams(1)
+	p.Adaptive = adaptive
+	cfg := traffic.Config{Routers: ps.G.N(), PerRouter: 2}
+	var mids []int
+	if adaptive {
+		for v := 0; v < ps.G.N(); v++ {
+			mids = append(mids, v)
+		}
+	}
+	n := New(route.NewPolarStar(ps), cfg, ps.G, mids, p)
+	rng := rand.New(rand.NewSource(2))
+	eps := cfg.Endpoints()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(rng.Intn(eps), rng.Intn(eps), 4096, float64(i))
+	}
+}
+
+func BenchmarkFlowsimSendMIN(b *testing.B)  { benchSend(b, false) }
+func BenchmarkFlowsimSendUGAL(b *testing.B) { benchSend(b, true) }

@@ -6,11 +6,18 @@
 // advances with a fixed per-hop latency, and links serve messages in
 // arrival order. The §10 configuration is 4 GB/s links and 20 ns
 // router+link latency per hop.
+//
+// The per-message hot path is allocation-free in steady state: routes
+// are appended through route.Engine.AppendPath into reusable buffers,
+// and per-link reservation state is a dense array indexed by the CSR
+// channel id of each directed arc (graph.ChannelID) instead of a
+// map[int64]float64 — the same discipline as the cycle simulator.
 package flowsim
 
 import (
 	"math/rand"
 
+	"polarstar/internal/graph"
 	"polarstar/internal/route"
 	"polarstar/internal/traffic"
 )
@@ -35,29 +42,35 @@ func DefaultParams(seed int64) Params {
 type Network struct {
 	p      Params
 	engine route.Engine
+	g      *graph.Graph
 	mids   []int // Valiant intermediates for adaptive mode (nil: all)
 	n      int   // router count
 	cfg    traffic.Config
 	rng    *rand.Rand
 
-	linkFree map[int64]float64 // directed link (u<<32|v) -> free-at time
-	injFree  []float64         // endpoint injection link
-	ejFree   []float64         // endpoint ejection link
+	linkFree []float64 // directed channel id -> free-at time
+	injFree  []float64 // endpoint injection link
+	ejFree   []float64 // endpoint ejection link
+
+	pathBuf []int // reusable buffer holding the chosen path
+	candBuf []int // reusable buffer for adaptive candidates
 }
 
-// New builds a network simulator over a routing engine.
-func New(engine route.Engine, cfg traffic.Config, numRouters int, mids []int, p Params) *Network {
+// New builds a network simulator over a routing engine. g is the router
+// graph the engine routes on; its channel ids key the per-link state.
+func New(engine route.Engine, cfg traffic.Config, g *graph.Graph, mids []int, p Params) *Network {
 	if p.Samples <= 0 {
 		p.Samples = 4
 	}
 	return &Network{
 		p:        p,
 		engine:   engine,
+		g:        g,
 		mids:     mids,
-		n:        numRouters,
+		n:        g.N(),
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(p.Seed)),
-		linkFree: make(map[int64]float64),
+		linkFree: make([]float64, g.NumChannels()),
 		injFree:  make([]float64, cfg.Endpoints()),
 		ejFree:   make([]float64, cfg.Endpoints()),
 	}
@@ -66,23 +79,25 @@ func New(engine route.Engine, cfg traffic.Config, numRouters int, mids []int, p 
 // Config returns the endpoint arrangement.
 func (n *Network) Config() traffic.Config { return n.cfg }
 
-func lkey(u, v int) int64 { return int64(u)<<32 | int64(v) }
+// score is the UGAL-L path metric: first-link availability plus
+// serialized hop latency (the flow-level analogue of queue depth).
+func (n *Network) score(path []int) float64 {
+	if len(path) < 2 {
+		return 0
+	}
+	return n.linkFree[n.g.ChannelID(path[0], path[1])] + float64(len(path)-1)*n.p.HopLatNS
+}
 
-// pathFor picks the route for a message, adaptively if configured.
+// pathFor picks the route for a message, adaptively if configured. The
+// returned slice aliases a reusable buffer valid until the next call.
 func (n *Network) pathFor(srcR, dstR int) []int {
-	min := n.engine.Route(srcR, dstR, n.rng)
+	best := n.engine.AppendPath(n.pathBuf[:0], srcR, dstR, n.rng)
+	n.pathBuf = best
 	if !n.p.Adaptive {
-		return min
+		return best
 	}
-	score := func(path []int) float64 {
-		if len(path) < 2 {
-			return 0
-		}
-		// First-link availability plus serialized hop latency: the
-		// flow-level analogue of UGAL-L.
-		return n.linkFree[lkey(path[0], path[1])] + float64(len(path)-1)*n.p.HopLatNS
-	}
-	best, bestScore := min, score(min)
+	bestScore := n.score(best)
+	cand := n.candBuf
 	for s := 0; s < n.p.Samples; s++ {
 		var mid int
 		if n.mids != nil {
@@ -93,16 +108,23 @@ func (n *Network) pathFor(srcR, dstR int) []int {
 		if mid == srcR || mid == dstR {
 			continue
 		}
-		a := n.engine.Route(srcR, mid, n.rng)
-		b := n.engine.Route(mid, dstR, n.rng)
-		if len(a) == 0 || len(b) == 0 {
+		// Both legs are routed before feasibility is checked so the RNG
+		// advances exactly as the historical Route-based implementation.
+		cand = n.engine.AppendPath(cand[:0], srcR, mid, n.rng)
+		legA := len(cand)
+		cand = n.engine.AppendPath(cand, mid, dstR, n.rng)
+		if legA == 0 || len(cand) == legA {
 			continue
 		}
-		cand := append(append(make([]int, 0, len(a)+len(b)-1), a...), b[1:]...)
-		if sc := score(cand); sc < bestScore {
-			best, bestScore = cand, sc
+		// Join the legs: drop the duplicated intermediate.
+		copy(cand[legA:], cand[legA+1:])
+		cand = cand[:len(cand)-1]
+		if sc := n.score(cand); sc < bestScore {
+			best, cand = cand, best
+			bestScore = sc
 		}
 	}
+	n.pathBuf, n.candBuf = best, cand
 	return best
 }
 
@@ -120,13 +142,14 @@ func (n *Network) Send(srcEP, dstEP int, bytes float64, at float64) float64 {
 
 	srcR, dstR := n.cfg.RouterOf(srcEP), n.cfg.RouterOf(dstEP)
 	if srcR != dstR {
-		for _, hop := range pathPairs(n.pathFor(srcR, dstR)) {
-			k := lkey(hop[0], hop[1])
+		path := n.pathFor(srcR, dstR)
+		for i := 0; i+1 < len(path); i++ {
+			c := n.g.ChannelID(path[i], path[i+1])
 			s := head
-			if f := n.linkFree[k]; f > s {
+			if f := n.linkFree[c]; f > s {
 				s = f
 			}
-			n.linkFree[k] = s + ser
+			n.linkFree[c] = s + ser
 			head = s + n.p.HopLatNS
 		}
 	}
@@ -137,12 +160,4 @@ func (n *Network) Send(srcEP, dstEP int, bytes float64, at float64) float64 {
 	}
 	n.ejFree[dstEP] = s + ser
 	return s + n.p.HopLatNS + ser
-}
-
-func pathPairs(path []int) [][2]int {
-	out := make([][2]int, 0, len(path))
-	for i := 0; i+1 < len(path); i++ {
-		out = append(out, [2]int{path[i], path[i+1]})
-	}
-	return out
 }

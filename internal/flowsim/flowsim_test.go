@@ -14,7 +14,7 @@ func testNetwork(adaptive bool, seed int64) (*Network, *topo.PolarStar) {
 	p := DefaultParams(seed)
 	p.Adaptive = adaptive
 	cfg := traffic.Config{Routers: ps.G.N(), PerRouter: 2}
-	return New(route.NewPolarStar(ps), cfg, ps.G.N(), nil, p), ps
+	return New(route.NewPolarStar(ps), cfg, ps.G, nil, p), ps
 }
 
 func TestSendPipelinedTiming(t *testing.T) {

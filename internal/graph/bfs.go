@@ -54,9 +54,19 @@ func (g *Graph) BFSDistancesScratch(src int, dist []int32, s *BFSScratch) []int3
 }
 
 // Eccentricity returns the largest finite distance from src and whether all
-// vertices were reachable.
+// vertices were reachable. For the eccentricity of every vertex at once,
+// Eccentricities (the bit-parallel variant) is ~64× cheaper.
 func (g *Graph) Eccentricity(src int) (ecc int32, connected bool) {
-	dist := g.BFSDistances(src, nil)
+	var s BFSScratch
+	ecc, connected, _ = g.EccentricityScratch(src, nil, &s)
+	return ecc, connected
+}
+
+// EccentricityScratch is Eccentricity reusing dist and scratch across
+// calls (both sized on first use; the possibly-grown dist is returned).
+// Use it in loops that probe many sources or many graphs.
+func (g *Graph) EccentricityScratch(src int, dist []int32, s *BFSScratch) (ecc int32, connected bool, distOut []int32) {
+	dist = g.BFSDistancesScratch(src, dist, s)
 	connected = true
 	for _, d := range dist {
 		if d == Unreachable {
@@ -67,7 +77,7 @@ func (g *Graph) Eccentricity(src int) (ecc int32, connected bool) {
 			ecc = d
 		}
 	}
-	return ecc, connected
+	return ecc, connected, dist
 }
 
 // PathStats aggregates the all-pairs shortest-path structure of a graph.
@@ -78,10 +88,12 @@ type PathStats struct {
 	Pairs     int64   // number of connected ordered pairs counted
 }
 
-// AllPairsStats runs a BFS from every vertex, in parallel, and returns the
-// diameter and average shortest-path length. This is the workhorse behind
-// the diameter-3 verification and the fault-tolerance experiment.
-func (g *Graph) AllPairsStats() PathStats {
+// AllPairsStatsScalar is the scalar reference implementation of
+// AllPairsStats: one queue-based BFS per source, sources strided across
+// workers. The bit-parallel engine (bitbfs.go) replaced it on every hot
+// path; it is kept as the cross-check oracle for the property and golden
+// tests and as the baseline of the before/after benchmarks.
+func (g *Graph) AllPairsStatsScalar() PathStats {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > g.n {
 		workers = g.n
@@ -152,16 +164,26 @@ func (g *Graph) Diameter() int32 {
 
 // IsConnected reports whether the graph has a single connected component.
 func (g *Graph) IsConnected() bool {
+	var s BFSScratch
+	ok, _ := g.IsConnectedScratch(nil, &s)
+	return ok
+}
+
+// IsConnectedScratch is IsConnected reusing dist and scratch across calls
+// (both sized on first use; the possibly-grown dist is returned). Use it
+// in loops that screen many candidate graphs, e.g. the randomized
+// Jellyfish construction and the fault-sweep bisection.
+func (g *Graph) IsConnectedScratch(dist []int32, s *BFSScratch) (bool, []int32) {
 	if g.n == 0 {
-		return true
+		return true, dist
 	}
-	dist := g.BFSDistances(0, nil)
+	dist = g.BFSDistancesScratch(0, dist, s)
 	for _, d := range dist {
 		if d == Unreachable {
-			return false
+			return false, dist
 		}
 	}
-	return true
+	return true, dist
 }
 
 // ConnectedSubset reports whether every vertex of hosts is reachable from

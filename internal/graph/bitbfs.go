@@ -1,0 +1,342 @@
+// Bit-parallel multi-source BFS: the all-pairs engine behind the
+// diameter-3 verification, the fault-tolerance sweeps and the measured
+// design-space tables.
+//
+// The kernel runs up to 64 BFS traversals simultaneously, one per bit
+// lane of a machine word: frontier/visited state is one uint64 per
+// vertex, a level expansion ORs frontier words across the CSR adjacency,
+// and per-level popcounts recover exact per-source distance aggregates
+// (sum, count, eccentricity) plus an optional global distance histogram.
+// One batch therefore traverses the edge array once per BFS *level*
+// instead of once per *source* — on the diameter-3 graphs this
+// repository studies (three or four levels), that replaces 64 full
+// scalar traversals with ~4 word-parallel ones.
+//
+// All aggregates are integers, so every summation order yields the same
+// result; the parallel drivers nevertheless shard source batches in a
+// fixed order and merge per-batch partials in that same order (the PR-1
+// link-load discipline), keeping results bit-identical to the scalar
+// reference at any GOMAXPROCS.
+//
+// Scalar BFS (BFSDistancesScratch) still wins when the caller needs the
+// actual distance vector of one source (routing-table construction,
+// connectivity bisection) or when the graph is tiny enough that arena
+// setup dominates; the kernel wins whenever ≥64 sources are aggregated.
+package graph
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// BitBFSScratch is the reusable arena of the bit-parallel BFS kernel:
+// three n-word bitsets (visited, current frontier, next frontier) plus a
+// source-id staging array. The zero value is ready to use; one scratch
+// serves one goroutine at a time and is reused across batches and across
+// graphs (it regrows as needed).
+type BitBFSScratch struct {
+	visited  []uint64
+	frontier []uint64
+	next     []uint64
+	srcs     [64]int32
+}
+
+// reset sizes the arena for an n-vertex graph and clears it.
+func (s *BitBFSScratch) reset(n int) {
+	if cap(s.visited) < n {
+		s.visited = make([]uint64, n)
+		s.frontier = make([]uint64, n)
+		s.next = make([]uint64, n)
+	}
+	s.visited = s.visited[:n]
+	s.frontier = s.frontier[:n]
+	s.next = s.next[:n]
+	clear(s.visited)
+	clear(s.frontier)
+	clear(s.next)
+}
+
+// BatchBFSStats aggregates one batch of up to 64 simultaneous BFS
+// traversals; lane i corresponds to the i-th source of the batch. Only
+// destinations at distance ≥ 1 are counted, so a source never counts
+// itself.
+type BatchBFSStats struct {
+	Lanes   int       // sources in the batch; lanes ≥ Lanes are zero
+	Ecc     [64]int32 // largest counted distance per lane (0: none)
+	Sum     [64]int64 // sum of counted distances per lane
+	Reached [64]int64 // counted destinations per lane
+}
+
+// BitBFSBatch runs one level-synchronous bit-parallel BFS from up to 64
+// sources simultaneously and returns exact per-source distance
+// aggregates derived from per-level popcounts.
+//
+// dst, when non-nil (length N), restricts which destinations are
+// *counted*; traversal still crosses every vertex, so distances through
+// uncounted vertices remain exact. hist, when non-nil, additionally
+// accumulates hist[d] += (counted pairs at distance d), growing as
+// needed; the possibly-grown slice is returned.
+//
+// The kernel only reads the graph, so concurrent batches on one graph
+// are safe as long as each goroutine owns its scratch.
+func (g *Graph) BitBFSBatch(srcs []int32, s *BitBFSScratch, dst []bool, hist []int64) (BatchBFSStats, []int64) {
+	var st BatchBFSStats
+	st.Lanes = len(srcs)
+	if len(srcs) == 0 {
+		return st, hist
+	}
+	if len(srcs) > 64 {
+		panic("graph: BitBFSBatch batch exceeds 64 sources")
+	}
+	s.reset(g.n)
+	for lane, v := range srcs {
+		bit := uint64(1) << uint(lane)
+		s.visited[v] |= bit
+		s.frontier[v] |= bit
+	}
+	collect := hist != nil
+	for level := int32(1); ; level++ {
+		// Expand: next[v] accumulates the frontier words of v's neighbors.
+		for u := 0; u < g.n; u++ {
+			f := s.frontier[u]
+			if f == 0 {
+				continue
+			}
+			for _, v := range g.nbr[g.off[u]:g.off[u+1]] {
+				s.next[v] |= f
+			}
+		}
+		// Advance: newly-reached bits become the next frontier; popcount
+		// them into per-lane counters for this level.
+		var laneCnt [64]int64
+		levelTotal := int64(0)
+		anyNew := false
+		for v := 0; v < g.n; v++ {
+			nw := s.next[v] &^ s.visited[v]
+			s.next[v] = 0
+			s.frontier[v] = nw
+			if nw == 0 {
+				continue
+			}
+			anyNew = true
+			s.visited[v] |= nw
+			if dst != nil && !dst[v] {
+				continue
+			}
+			levelTotal += int64(bits.OnesCount64(nw))
+			for w := nw; w != 0; w &= w - 1 {
+				laneCnt[bits.TrailingZeros64(w)]++
+			}
+		}
+		if !anyNew {
+			return st, hist
+		}
+		if collect && levelTotal > 0 {
+			for len(hist) <= int(level) {
+				hist = append(hist, 0)
+			}
+			hist[level] += levelTotal
+		}
+		for lane := 0; lane < st.Lanes; lane++ {
+			c := laneCnt[lane]
+			if c == 0 {
+				continue
+			}
+			st.Reached[lane] += c
+			st.Sum[lane] += int64(level) * c
+			st.Ecc[lane] = level
+		}
+	}
+}
+
+// batchAgg is the per-batch partial of the parallel all-pairs drivers.
+type batchAgg struct {
+	sum, pairs int64
+	diam       int32
+}
+
+// runBatch executes the kernel for the contiguous source batch starting
+// at base and folds the lane stats into one partial.
+func (g *Graph) runBatch(base int, s *BitBFSScratch) batchAgg {
+	lanes := g.n - base
+	if lanes > 64 {
+		lanes = 64
+	}
+	for i := 0; i < lanes; i++ {
+		s.srcs[i] = int32(base + i)
+	}
+	st, _ := g.BitBFSBatch(s.srcs[:lanes], s, nil, nil)
+	var a batchAgg
+	for l := 0; l < lanes; l++ {
+		a.pairs += st.Reached[l]
+		a.sum += st.Sum[l]
+		if st.Ecc[l] > a.diam {
+			a.diam = st.Ecc[l]
+		}
+	}
+	return a
+}
+
+// AllPairsStatsSerial computes AllPairsStats on the calling goroutine
+// through the bit-parallel kernel, reusing an explicit scratch arena.
+// It is the building block for worker pools that parallelize over
+// *graphs* (the design-space sweeps) rather than over sources: each pool
+// worker owns one scratch and measures whole topology points serially,
+// avoiding nested parallelism.
+func (g *Graph) AllPairsStatsSerial(s *BitBFSScratch) PathStats {
+	var total batchAgg
+	for base := 0; base < g.n; base += 64 {
+		a := g.runBatch(base, s)
+		total.sum += a.sum
+		total.pairs += a.pairs
+		if a.diam > total.diam {
+			total.diam = a.diam
+		}
+	}
+	return finishStats(g.n, total)
+}
+
+// finishStats converts the merged partial into PathStats. Connectivity
+// falls out of the pair count: every source reaches all n−1 others iff
+// the total equals n(n−1).
+func finishStats(n int, t batchAgg) PathStats {
+	stats := PathStats{
+		Diameter:  t.diam,
+		Pairs:     t.pairs,
+		Connected: t.pairs == int64(n)*int64(n-1),
+	}
+	if t.pairs > 0 {
+		stats.AvgPath = float64(t.sum) / float64(t.pairs)
+	}
+	return stats
+}
+
+// allPairsWorkers returns the worker count for nb source batches.
+func allPairsWorkers(nb int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > nb {
+		w = nb
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// AllPairsStats computes the diameter, average shortest-path length and
+// connectivity of g — the workhorse behind the diameter-3 verification
+// (Table 3), the design-space sweeps and the fault-tolerance experiment.
+//
+// Sources are processed 64 at a time by the bit-parallel kernel
+// (BitBFSBatch); batches are sharded across GOMAXPROCS workers in fixed
+// stride order, each worker owning one scratch arena, and per-batch
+// partials are merged in fixed batch order. All aggregation is integer,
+// so the result is bit-identical to AllPairsStatsScalar at any worker
+// count.
+func (g *Graph) AllPairsStats() PathStats {
+	nb := (g.n + 63) / 64
+	workers := allPairsWorkers(nb)
+	if workers <= 1 {
+		var s BitBFSScratch
+		return g.AllPairsStatsSerial(&s)
+	}
+	out := make([]batchAgg, nb)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var s BitBFSScratch
+			for b := w; b < nb; b += workers {
+				out[b] = g.runBatch(b*64, &s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total batchAgg
+	for _, a := range out { // fixed batch-order merge
+		total.sum += a.sum
+		total.pairs += a.pairs
+		if a.diam > total.diam {
+			total.diam = a.diam
+		}
+	}
+	return finishStats(g.n, total)
+}
+
+// DistanceHistogram returns hist with hist[d] = number of ordered vertex
+// pairs (u,v), u ≠ v, at distance exactly d, for d in [0, Diameter]
+// (hist[0] is always 0; unreachable pairs are not counted). For a
+// diameter-3 network, Σ d·hist[d] / Σ hist[d] is exactly the average
+// path length studied by §11. Computed by the bit-parallel kernel with
+// batches sharded across workers and merged in fixed batch order.
+func (g *Graph) DistanceHistogram() []int64 {
+	nb := (g.n + 63) / 64
+	workers := allPairsWorkers(nb)
+	hists := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var s BitBFSScratch
+			hist := []int64{0}
+			for b := w; b < nb; b += workers {
+				base := b * 64
+				lanes := g.n - base
+				if lanes > 64 {
+					lanes = 64
+				}
+				for i := 0; i < lanes; i++ {
+					s.srcs[i] = int32(base + i)
+				}
+				_, hist = g.BitBFSBatch(s.srcs[:lanes], &s, nil, hist)
+			}
+			hists[w] = hist
+		}(w)
+	}
+	wg.Wait()
+	out := []int64{0}
+	for _, h := range hists { // fixed worker-order merge (integer sums)
+		for len(out) < len(h) {
+			out = append(out, 0)
+		}
+		for d, c := range h {
+			out[d] += c
+		}
+	}
+	return out
+}
+
+// Eccentricities returns the eccentricity of every vertex: the largest
+// finite distance out of it (0 for isolated vertices; within its own
+// component when g is disconnected). The all-vertex analogue of
+// Eccentricity, computed 64 sources per traversal.
+func (g *Graph) Eccentricities() []int32 {
+	out := make([]int32, g.n)
+	nb := (g.n + 63) / 64
+	workers := allPairsWorkers(nb)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var s BitBFSScratch
+			for b := w; b < nb; b += workers {
+				base := b * 64
+				lanes := g.n - base
+				if lanes > 64 {
+					lanes = 64
+				}
+				for i := 0; i < lanes; i++ {
+					s.srcs[i] = int32(base + i)
+				}
+				st, _ := g.BitBFSBatch(s.srcs[:lanes], &s, nil, nil)
+				copy(out[base:base+lanes], st.Ecc[:lanes])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}

@@ -91,7 +91,7 @@ func TestTreeAllreduceScalesWithTrees(t *testing.T) {
 	}
 	run := func(k int) float64 {
 		p := flowsim.DefaultParams(1)
-		net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), nil, p)
+		net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph, nil, p)
 		return TreeAllreduce(net, trees[:k], 1<<20, 1)
 	}
 	one := run(1)
@@ -106,7 +106,7 @@ func TestTreeAllreduceScalesWithTrees(t *testing.T) {
 
 func TestTreeAllreduceEmpty(t *testing.T) {
 	spec := sim.MustNewSpec("ps-iq-small")
-	net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), nil, flowsim.DefaultParams(1))
+	net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph, nil, flowsim.DefaultParams(1))
 	if TreeAllreduce(net, nil, 1024, 1) != 0 {
 		t.Error("empty tree set should be free")
 	}

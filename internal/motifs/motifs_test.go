@@ -11,7 +11,7 @@ func network(specName string, adaptive bool, seed int64) *flowsim.Network {
 	spec := sim.MustNewSpec(specName)
 	p := flowsim.DefaultParams(seed)
 	p.Adaptive = adaptive
-	return flowsim.New(spec.MinEngine, spec.Config(), spec.Graph.N(), spec.UGALMids, p)
+	return flowsim.New(spec.MinEngine, spec.Config(), spec.Graph, spec.UGALMids, p)
 }
 
 func TestAllreduceCompletes(t *testing.T) {

@@ -105,6 +105,11 @@ func NewJellyfish(n, r int, seed int64) (*graph.Graph, error) {
 	}
 	rng := rand.New(rand.NewSource(seed))
 	type edge [2]int
+	// Connectivity screening state reused across candidate graphs.
+	var (
+		connDist []int32
+		connBFS  graph.BFSScratch
+	)
 	for attempt := 0; attempt < 200; attempt++ {
 		stubs := make([]int, 0, n*r)
 		for v := 0; v < n; v++ {
@@ -158,8 +163,12 @@ func NewJellyfish(n, r int, seed int64) (*graph.Graph, error) {
 			b.AddEdge(e[0], e[1])
 		}
 		g := b.Build()
-		if g.IsRegular() && g.MaxDegree() == r && g.IsConnected() {
-			return g, nil
+		if g.IsRegular() && g.MaxDegree() == r {
+			connected, dist := g.IsConnectedScratch(connDist, &connBFS)
+			connDist = dist
+			if connected {
+				return g, nil
+			}
 		}
 	}
 	return nil, fmt.Errorf("topo: Jellyfish construction failed for n=%d r=%d", n, r)

@@ -44,6 +44,21 @@ func NewGraphBuilder(name string, n int) *graph.Builder { return graph.NewBuilde
 // average path length, connectivity).
 type PathStats = graph.PathStats
 
+// BitBFSScratch is the reusable arena of the bit-parallel multi-source
+// BFS engine. Callers running structural analysis over many graphs (a
+// design-space sweep, a fault sweep) keep one per worker and pass it to
+// Graph.AllPairsStatsSerial to amortize all traversal state.
+type BitBFSScratch = graph.BitBFSScratch
+
+// MeasuredConfig is a Fig 7 design-space point with measured (not
+// closed-form) structural statistics.
+type MeasuredConfig = moore.MeasuredConfig
+
+// MeasureConfigs constructs each feasible configuration up to maxOrder
+// routers and measures its exact diameter and mean path length with the
+// bit-parallel all-pairs engine.
+var MeasureConfigs = moore.MeasureConfigs
+
 // ---------------------------------------------------------------------
 // Topologies.
 
