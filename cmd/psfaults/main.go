@@ -1,17 +1,22 @@
 // psfaults reproduces the fault-tolerance experiment of §11.2 (Fig 14):
 // network diameter and average shortest-path length under random link
-// failures, reported for the median-disconnection-ratio trial.
+// failures, reported for the median-disconnection-ratio trial. With
+// -traffic it additionally runs the cycle-level simulator on each
+// degraded topology, reporting delivered fraction and latency at a fixed
+// offered load.
 //
 // Usage:
 //
 //	psfaults -spec ps-iq -trials 100
 //	psfaults -spec df -trials 20
+//	psfaults -spec ps-iq-small -traffic -load 0.3 -mode ugal
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"polarstar/internal/faults"
 	"polarstar/internal/plot"
@@ -25,6 +30,11 @@ func main() {
 		trials   = flag.Int("trials", 100, "random failure scenarios (paper: 100)")
 		seed     = flag.Int64("seed", 1, "seed")
 		svgOut   = flag.String("svg", "", "also write the APL-vs-failures curve as an SVG file")
+		traffic  = flag.Bool("traffic", false, "simulate traffic on each degraded topology instead of structural stats")
+		load     = flag.Float64("load", 0.3, "offered load for -traffic (flits/endpoint/cycle)")
+		mode     = flag.String("mode", "min", "routing for -traffic: min, ugal")
+		pattern  = flag.String("pattern", "uniform", "traffic pattern for -traffic")
+		workers  = flag.Int("workers", 0, "engine shard workers per -traffic run (0: one per core)")
 	)
 	flag.Parse()
 	defer prof.Start()()
@@ -32,6 +42,10 @@ func main() {
 	spec, err := sim.NewSpec(*specName)
 	if err != nil {
 		fatal(err)
+	}
+	if *traffic {
+		runTraffic(spec, *mode, *pattern, *load, *seed, *workers)
+		return
 	}
 	var hosts faults.Hosts
 	if spec.Hosts != nil {
@@ -75,6 +89,28 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("# wrote %s\n", *svgOut)
+	}
+}
+
+func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, workers int) {
+	m := sim.MIN
+	if mode == "ugal" {
+		m = sim.UGALMode
+	}
+	params := sim.DefaultParams(seed)
+	if workers > 0 {
+		params.Workers = workers
+	} else {
+		params.Workers = runtime.GOMAXPROCS(0)
+	}
+	pts, err := faults.TrafficSweep(spec, m, pattern, load, faults.DefaultFracs, params, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# %s %s %s under random link failures at load %.2f\n", spec.Name, m, pattern, load)
+	fmt.Printf("%-10s %-8s %-12s %-10s %-10s\n", "failfrac", "removed", "avg-lat", "delivered", "saturated")
+	for _, p := range pts {
+		fmt.Printf("%-10.2f %-8d %-12.2f %-10.3f %-10v\n", p.FailFrac, p.Removed, p.AvgLatency, p.DeliveredFrac, p.Saturated)
 	}
 }
 

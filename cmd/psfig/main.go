@@ -29,9 +29,10 @@ import (
 )
 
 type ctx struct {
-	out  string
-	full bool
-	seed int64
+	out     string
+	full    bool
+	seed    int64
+	workers int
 }
 
 func main() {
@@ -40,12 +41,13 @@ func main() {
 		full = flag.Bool("full", false, "paper-scale configurations (slow)")
 		only = flag.String("only", "", "comma-separated subset: fig1,fig4,fig7,fig9,fig10,fig11,fig12,fig13,fig14,headline")
 		seed = flag.Int64("seed", 1, "seed")
+		wrk  = flag.Int("workers", 0, "sim engine shard workers per run (0: auto-split cores; results identical for any value)")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	c := ctx{out: *out, full: *full, seed: *seed}
+	c := ctx{out: *out, full: *full, seed: *seed, workers: *wrk}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*only, ",") {
 		if f = strings.TrimSpace(f); f != "" {
@@ -88,6 +90,7 @@ func (c ctx) simSpecs() []string {
 
 func (c ctx) simParams() sim.Params {
 	p := sim.DefaultParams(c.seed)
+	p.Workers = c.workers
 	if !c.full {
 		p.Warmup, p.Measure, p.Drain = 1000, 2000, 4000
 	}

@@ -29,6 +29,7 @@ func main() {
 		cycles   = flag.Int("cycles", 0, "override measurement cycles (warmup=cycles/2, drain=3*cycles/2)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		svgOut   = flag.String("svg", "", "also write the latency-load curve as an SVG file")
+		workers  = flag.Int("workers", 0, "engine shard workers per run (0: auto-split cores between load points and shards; results are identical for any value)")
 	)
 	flag.Parse()
 	defer prof.Start()()
@@ -55,6 +56,7 @@ func main() {
 		}
 	}
 	params := sim.DefaultParams(*seed)
+	params.Workers = *workers
 	if *cycles > 0 {
 		params.Warmup = *cycles / 2
 		params.Measure = *cycles

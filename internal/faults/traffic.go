@@ -1,0 +1,56 @@
+// Degraded-topology traffic simulation: the dynamic complement of the
+// structural §11.2 sweep. Instead of asking how distances grow as links
+// fail, TrafficSweep asks how much offered load the broken network still
+// carries: each failure fraction rebuilds an all-pairs routing table on
+// the degraded graph (reusing one distance slab across the whole sweep)
+// and runs the cycle-level simulator on it.
+package faults
+
+import (
+	"math/rand"
+
+	"polarstar/internal/sim"
+)
+
+// TrafficPoint is one failure fraction of a degraded-traffic sweep.
+type TrafficPoint struct {
+	FailFrac float64
+	Removed  int // links removed
+	sim.Result
+}
+
+// TrafficSweep removes links of the spec's graph in a seed-determined
+// random order (the §11.2 protocol) and simulates the same offered load
+// on each degraded topology. Endpoints on disconnected or unroutable
+// pairs keep injecting; their packets are lost, so DeliveredFrac < 1 and
+// rising latency are the observable damage. fracs must be ascending.
+// The routing mode is MIN or UGAL over the degraded all-pairs table.
+func TrafficSweep(spec *sim.Spec, mode sim.RoutingMode, patternName string, load float64, fracs []float64, params sim.Params, seed int64) ([]TrafficPoint, error) {
+	edges := spec.Graph.Edges()
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	points := make([]TrafficPoint, 0, len(fracs))
+	var slab []uint8
+	for _, f := range fracs {
+		k := int(f * float64(len(edges)))
+		deg := spec.DegradedInto(edges[:k], slab)
+		slab = deg.TableSlab()
+		pattern, err := deg.Pattern(patternName, params.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var routing sim.Routing
+		switch mode {
+		case sim.UGALMode:
+			routing = deg.UGALRouting(params.PacketFlits)
+		case sim.UGALGMode:
+			routing = deg.UGALGRouting(params.PacketFlits)
+		default:
+			routing = deg.MinRouting()
+		}
+		eng := sim.NewEngine(params, deg.Graph, deg.Config(), routing, pattern)
+		points = append(points, TrafficPoint{FailFrac: f, Removed: k, Result: eng.Run(load)})
+	}
+	return points, nil
+}

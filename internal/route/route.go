@@ -56,6 +56,14 @@ type Table struct {
 	g    *graph.Graph
 	dist []uint8 // n*n hop distances
 	mode TableMode
+
+	// Minimal-next-hop CSR (MultiPath only): nh[nhOff[src*n+dst] :
+	// nhOff[src*n+dst+1]] lists the neighbors of src one hop closer to
+	// dst, in ascending adjacency order. Precomputed at build time so
+	// AppendPath samples a next hop in O(candidates) instead of scanning
+	// every neighbor with a distance lookup per hop.
+	nhOff []int32
+	nh    []int32
 }
 
 // TableMode selects minpath diversity for Table engines.
@@ -95,12 +103,71 @@ func NewTableInto(g *graph.Graph, mode TableMode, slab []uint8) *Table {
 			}
 		}
 	})
+	if mode == MultiPath {
+		t.buildNextHops()
+	}
 	return t
+}
+
+// buildNextHops fills the minimal-next-hop CSR: a parallel count pass, a
+// serial prefix sum, then a parallel fill pass. Both passes stream the
+// source's and each neighbor's distance rows sequentially; the fill
+// keeps a per-destination cursor in the worker's scratch row.
+func (t *Table) buildNextHops() {
+	n := t.g.N()
+	t.nhOff = make([]int32, n*n+1)
+	parallelFor(n, func(src int, _ []int32, _ *graph.BFSScratch) {
+		base := src * n
+		cnt := t.nhOff[base+1 : base+n+1]
+		sRow := t.dist[base : base+n]
+		for _, w := range t.g.Neighbors(src) {
+			wRow := t.dist[int(w)*n : int(w)*n+n]
+			for dst, d := range sRow {
+				if d != 0 && d != 0xff && wRow[dst] == d-1 {
+					cnt[dst]++
+				}
+			}
+		}
+	})
+	var total int32
+	for i := 1; i < len(t.nhOff); i++ {
+		total += t.nhOff[i]
+		t.nhOff[i] = total
+	}
+	t.nh = make([]int32, total)
+	parallelFor(n, func(src int, pos []int32, _ *graph.BFSScratch) {
+		base := src * n
+		copy(pos, t.nhOff[base:base+n])
+		sRow := t.dist[base : base+n]
+		for _, w := range t.g.Neighbors(src) {
+			wRow := t.dist[int(w)*n : int(w)*n+n]
+			for dst, d := range sRow {
+				if d != 0 && d != 0xff && wRow[dst] == d-1 {
+					t.nh[pos[dst]] = w
+					pos[dst]++
+				}
+			}
+		}
+	})
 }
 
 // Slab exposes the distance backing for reuse via NewTableInto. The table
 // must not be used after its slab has been handed to a new table.
 func (t *Table) Slab() []uint8 { return t.dist }
+
+// MaxDist returns the maximum finite pairwise distance — the diameter of
+// the largest-diameter connected component. Degraded-topology sweeps use
+// it as the exact path-length bound (the intact diameter no longer
+// applies once links fail).
+func (t *Table) MaxDist() int {
+	max := 0
+	for _, d := range t.dist {
+		if d != 0xff && int(d) > max {
+			max = int(d)
+		}
+	}
+	return max
+}
 
 // Dist implements Engine.
 func (t *Table) Dist(src, dst int) int {
@@ -127,20 +194,31 @@ func (t *Table) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
 	}
 	buf = append(buf, src)
 	cur := src
+	if t.mode == MultiPath {
+		// O(candidates) per hop off the precomputed CSR. The reservoir
+		// draw sequence — rng.Intn(k) per candidate in ascending
+		// adjacency order — matches the neighbor-scan implementation
+		// exactly, so paths are byte-identical under a fixed seed.
+		for cur != dst {
+			row := t.nh[t.nhOff[cur*n+dst]:t.nhOff[cur*n+dst+1]]
+			pick := row[0]
+			for k := 1; k <= len(row); k++ {
+				if rng.Intn(k) == 0 {
+					pick = row[k-1]
+				}
+			}
+			cur = int(pick)
+			buf = append(buf, cur)
+		}
+		return buf
+	}
 	for cur != dst {
 		d := t.dist[cur*n+dst]
 		var pick int32 = -1
-		count := 0
 		for _, w := range t.g.Neighbors(cur) {
 			if t.dist[int(w)*n+dst] == d-1 {
-				if t.mode == SinglePath {
-					pick = w
-					break
-				}
-				count++
-				if rng.Intn(count) == 0 {
-					pick = w
-				}
+				pick = w
+				break
 			}
 		}
 		cur = int(pick)

@@ -35,6 +35,66 @@ func TestTableRouting(t *testing.T) {
 	}
 }
 
+// referenceNextHopPath replicates the pre-CSR MultiPath AppendPath: a
+// reservoir scan over all neighbors with a distance lookup per step. The
+// CSR implementation must consume the RNG identically and produce
+// byte-identical paths.
+func referenceNextHopPath(tab *Table, buf []int, src, dst int, rng *rand.Rand) []int {
+	if src == dst {
+		return buf
+	}
+	g := tab.Graph()
+	n := g.N()
+	if tab.Dist(src, dst) < 0 {
+		return buf
+	}
+	buf = append(buf, src)
+	cur := src
+	for cur != dst {
+		d := tab.dist[cur*n+dst]
+		var pick int32 = -1
+		count := 0
+		for _, w := range g.Neighbors(cur) {
+			if tab.dist[int(w)*n+dst] == d-1 {
+				count++
+				if rng.Intn(count) == 0 {
+					pick = w
+				}
+			}
+		}
+		cur = int(pick)
+		buf = append(buf, cur)
+	}
+	return buf
+}
+
+func TestTableMultiPathCSRMatchesScan(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		topo.MustNewPolarStar(3, 3, topo.KindIQ).G,
+		topo.MustNewDragonfly(4, 2).G,
+		topo.MustNewLPS(13, 5).G,
+	} {
+		tab := NewTable(g, MultiPath)
+		rngA := rand.New(rand.NewSource(42))
+		rngB := rand.New(rand.NewSource(42))
+		var bufA, bufB []int
+		for src := 0; src < g.N(); src += 3 {
+			for dst := 0; dst < g.N(); dst += 7 {
+				bufA = tab.AppendPath(bufA[:0], src, dst, rngA)
+				bufB = referenceNextHopPath(tab, bufB[:0], src, dst, rngB)
+				if len(bufA) != len(bufB) {
+					t.Fatalf("%s %d->%d: CSR path %v != scan path %v", g.Name(), src, dst, bufA, bufB)
+				}
+				for i := range bufA {
+					if bufA[i] != bufB[i] {
+						t.Fatalf("%s %d->%d: CSR path %v != scan path %v", g.Name(), src, dst, bufA, bufB)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestTableSinglePathDeterministic(t *testing.T) {
 	df := topo.MustNewDragonfly(4, 2)
 	tab := NewTable(df.G, SinglePath)

@@ -22,6 +22,10 @@ func (m Min) Path(buf []int, src, dst int, _ OccFn, rng *rand.Rand) []int {
 // MaxHops implements Routing.
 func (m Min) MaxHops() int { return m.Hops }
 
+// Clone implements Routing. Min is stateless (route engines are
+// goroutine-safe for reads), so the value itself is returned.
+func (m Min) Clone() Routing { return m }
+
 // UGAL is load-balancing adaptive routing (§9.3): per packet it compares
 // the minimal path against Samples random Valiant paths, scoring each
 // candidate by (queue occupancy) × (path hops), and picks the best.
@@ -106,3 +110,11 @@ func (u *UGAL) score(path []int, occ OccFn) int {
 
 // MaxHops implements Routing.
 func (u *UGAL) MaxHops() int { return u.Hops }
+
+// Clone implements Routing: a copy with its own scratch buffers, sharing
+// the read-only route engine and intermediate list.
+func (u *UGAL) Clone() Routing {
+	c := *u
+	c.bufA, c.bufB = nil, nil
+	return &c
+}

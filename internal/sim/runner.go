@@ -53,25 +53,53 @@ func (s SweepResult) SaturationLoad() float64 {
 }
 
 // Sweep runs the latency-load experiment: one independent simulation per
-// offered load, in parallel. Loads are fractions of the peak injection
-// bandwidth (flits/endpoint/cycle).
+// offered load, in parallel across load points, each run itself sharded
+// over params.Workers goroutines (0: divide the machine between the
+// levels — GOMAXPROCS/outer inner workers each). Loads are fractions of
+// the peak injection bandwidth (flits/endpoint/cycle). The first
+// failure cancels the remaining load points and is returned once every
+// in-flight run has stopped.
 func Sweep(spec *Spec, mode RoutingMode, patternName string, loads []float64, params Params) (SweepResult, error) {
 	res := SweepResult{Spec: spec.Name, Routing: mode, Pattern: patternName, Points: make([]Result, len(loads))}
-	var firstErr error
-	var mu sync.Mutex
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(loads) {
-		workers = len(loads)
+	outer := runtime.GOMAXPROCS(0)
+	if outer > len(loads) {
+		outer = len(loads)
+	}
+	if params.Workers <= 0 {
+		if params.Workers = runtime.GOMAXPROCS(0) / outer; params.Workers < 1 {
+			params.Workers = 1
+		}
+	}
+	var (
+		firstErr error
+		mu       sync.Mutex
+		failed   = make(chan struct{})
+		failOnce sync.Once
+	)
+	fail := func(err error) {
+		failOnce.Do(func() {
+			mu.Lock()
+			firstErr = err
+			mu.Unlock()
+			close(failed)
+		})
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
 	go func() {
+		// Stop feeding on the first failure so workers drain and exit;
+		// without the select this goroutine would block on `next <- i`
+		// forever once the workers are gone.
+		defer close(next)
 		for i := range loads {
-			next <- i
+			select {
+			case next <- i:
+			case <-failed:
+				return
+			}
 		}
-		close(next)
 	}()
-	for w := 0; w < workers; w++ {
+	for w := 0; w < outer; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -80,11 +108,7 @@ func Sweep(spec *Spec, mode RoutingMode, patternName string, loads []float64, pa
 				p.Seed = params.Seed + int64(i)*7919
 				pattern, err := spec.Pattern(patternName, p.Seed)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
 					return
 				}
 				var routing Routing
@@ -102,6 +126,8 @@ func Sweep(spec *Spec, mode RoutingMode, patternName string, loads []float64, pa
 		}()
 	}
 	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
 	return res, firstErr
 }
 

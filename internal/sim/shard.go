@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Phases of one cycle, dispatched to the worker pool.
+const (
+	phaseRoute = iota
+	phaseArbitrate
+)
+
+// workerPool drives the parallel phases of stepCycle. Shards — not
+// cycles or routers — are the unit of work: workers claim shard indices
+// from an atomic counter, and because every shard's phase touches only
+// shard-owned state, the claim order cannot influence the results. With
+// a single worker the pool degenerates to a plain loop over the shards
+// (no goroutines, no atomics, no allocations): the serial reference
+// path runs the exact same per-shard code.
+type workerPool struct {
+	e       *Engine
+	started bool
+	work    chan int
+	wg      sync.WaitGroup
+	next    atomic.Int32
+}
+
+func (p *workerPool) start(e *Engine) { p.e = e }
+
+// run executes one phase over all shards and returns when every shard is
+// done (the inter-phase barrier). Worker goroutines are spawned lazily
+// on the first parallel phase, so engines that are built but never run
+// in parallel cost nothing.
+func (p *workerPool) run(phase int) {
+	e := p.e
+	if e.workers <= 1 {
+		for s := 0; s < numShards; s++ {
+			e.doShard(phase, s)
+		}
+		return
+	}
+	if !p.started {
+		p.started = true
+		p.work = make(chan int)
+		for i := 0; i < e.workers-1; i++ {
+			go func() {
+				for ph := range p.work {
+					p.claim(ph)
+					p.wg.Done()
+				}
+			}()
+		}
+	}
+	p.next.Store(0)
+	p.wg.Add(e.workers - 1)
+	for i := 0; i < e.workers-1; i++ {
+		p.work <- phase
+	}
+	p.claim(phase) // the caller participates
+	p.wg.Wait()
+}
+
+func (p *workerPool) claim(phase int) {
+	for {
+		s := int(p.next.Add(1)) - 1
+		if s >= numShards {
+			return
+		}
+		p.e.doShard(phase, s)
+	}
+}
+
+func (p *workerPool) stop() {
+	if p.started {
+		close(p.work)
+		p.started = false
+	}
+}
+
+func (e *Engine) doShard(phase, s int) {
+	switch phase {
+	case phaseRoute:
+		e.routeShard(e.shards[s])
+	default:
+		e.arbitrateShard(e.shards[s], s)
+	}
+}
+
+// splitmix is a splitmix64 rand.Source64 that can be re-seeded per
+// packet for a few nanoseconds (math/rand's Seed rebuilds a 607-entry
+// lagged-Fibonacci table). Seeding from (run seed, global injection
+// counter) makes every packet's routing draw stream a pure function of
+// the packet, independent of which shard or worker routes it — the key
+// to bit-identical parallel runs.
+type splitmix struct{ x uint64 }
+
+func (s *splitmix) seed(runSeed, pktCtr int64) {
+	s.x = uint64(runSeed)*0x9E3779B97F4A7C15 ^ uint64(pktCtr)*0xBF58476D1CE4E5B9
+}
+
+func (s *splitmix) Uint64() uint64 {
+	s.x += 0x9E3779B97F4A7C15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix) Seed(seed int64) { s.x = uint64(seed) }

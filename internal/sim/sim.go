@@ -11,12 +11,19 @@
 // dependency graph is acyclic. The VC count is MaxHops+1 — exactly the
 // paper's 4 VCs for minimal routing on a diameter-3 topology.
 //
-// Simulations are deterministic for a given seed and single-threaded;
-// load sweeps parallelize across simulator instances.
+// Each cycle is an explicit two-phase arbitrate→commit step over a fixed
+// number of router shards: during arbitration every router reads only
+// state committed by previous phases plus its own in-cycle grants, and
+// cross-router effects (forwarded packets, credit releases) are recorded
+// in per-shard journals applied in fixed shard order. Arbitration is
+// therefore data-race-free across routers, and a run produces
+// bit-identical Results at any worker count (Params.Workers) — the same
+// discipline as graph.BitBFSBatch: fixed merge order, integer
+// aggregation. See DESIGN.md §7 for the semantics and the
+// deadlock-equivalence argument.
 package sim
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -28,6 +35,12 @@ import (
 // on indirect topologies reach 9 nodes).
 const MaxPathNodes = 12
 
+// numShards is the fixed shard count of the two-phase cycle. It is
+// independent of the worker count on purpose: journals are produced and
+// applied in shard order, so the shard partition — not the workers that
+// happen to process it — defines the results.
+const numShards = 16
+
 // Params configures a simulation run.
 type Params struct {
 	PacketFlits   int   // flits per packet (paper: 4)
@@ -37,6 +50,10 @@ type Params struct {
 	Measure       int   // measurement window in cycles
 	Drain         int   // extra cycles to drain measured packets
 	Seed          int64 // RNG seed
+	// Workers is the number of goroutines driving one run's routing and
+	// arbitration phases (<=1: serial, the reference path; capped at the
+	// shard count). Results are bit-identical for any value.
+	Workers int
 }
 
 // DefaultParams mirrors the §9.4 configuration.
@@ -63,16 +80,23 @@ type Routing interface {
 	// MaxHops bounds the number of links of any returned path; it sizes
 	// the VC array.
 	MaxHops() int
+	// Clone returns an independent instance for a parallel worker.
+	// Engines with internal scratch must not share it across goroutines;
+	// stateless adapters may return themselves.
+	Clone() Routing
 }
 
 // OccFn reports the queued flits on the directed channel u→v (summed
 // over VCs).
 type OccFn func(u, v int) int
 
+// packet stores its remaining route as the dense channel ids of its hops
+// (resolved once at injection), so arbitration retries never repeat the
+// neighbor search ChannelID performs.
 type packet struct {
-	path    [MaxPathNodes]int32
-	nPath   int8
-	hop     int8
+	chans   [MaxPathNodes - 1]int32 // channel id of hop i (path[i]→path[i+1])
+	nHops   int8                    // channels on the path; 0 = source == destination router
+	hop     int8                    // channels already traversed; ejects at hop == nHops
 	gen     int64
 	dstEP   int32
 	measure bool
@@ -107,6 +131,15 @@ type inflight struct {
 	unit int32 // destination queue unit
 }
 
+// pendingInj is a packet generated this cycle, waiting for the routing
+// phase of its source router's shard (generation itself stays serial: it
+// drives the pattern RNG).
+type pendingInj struct {
+	ep  int32 // source endpoint
+	dst int32 // destination endpoint
+	ctr int64 // global injection counter: seeds the per-packet route RNG
+}
+
 // Engine is one simulator instance bound to a topology, routing and
 // traffic pattern.
 type Engine struct {
@@ -116,11 +149,23 @@ type Engine struct {
 	pattern traffic.Pattern
 	cfg     traffic.Config
 	vcs     int
+	workers int
 
 	// Channels are the graph's dense directed-channel ids: channel
-	// graph.FirstChannel(r)+k is r → its k-th neighbor.
-	busy []int64 // channel id -> busy-until cycle
-	occ  []int32 // (channel id * vcs + vc) -> queued+reserved flits
+	// graph.FirstChannel(r)+k is r → its k-th neighbor. All per-channel
+	// state is written only by the channel's source router during
+	// arbitration (occ decrements are journaled to commit), which is what
+	// makes the arbitration phase race-free.
+	busy   []int64 // channel id -> busy-until cycle
+	occ    []int32 // (channel id * vcs + vc) -> queued+reserved flits
+	occSum []int32 // channel id -> occ summed over VCs (Occupancy fast path)
+
+	// chanIdx densifies ChannelID: (u*n+v) -> channel id or -1. Path→
+	// channel resolution and UGAL occupancy scoring perform one lookup
+	// per hop per packet — tens of millions per run — so the ~n² int32
+	// table (4.5 MB for the Table-3 PolarStar) beats the per-call
+	// binary search. nil above the size cap (huge design-space graphs).
+	chanIdx []int32
 
 	// Queues ("units"): per channel per VC input queues at the channel's
 	// destination router, plus one injection queue per endpoint.
@@ -128,21 +173,29 @@ type Engine struct {
 	injBase  int     // unit id of endpoint 0's injection queue
 	unitHome []int32 // unit -> router owning the queue
 
-	// Per-router active unit lists with lazy deletion.
-	active   [][]int32
-	inActive []bool // unit -> whether listed in active
+	// Per-router active unit lists with lazy deletion, and the per-shard
+	// active-router worklists above them: a cycle touches only routers
+	// with queued packets, not all N.
+	active      [][]int32
+	inActive    []bool // unit -> whether listed in active
+	routerShard []int8 // router -> owning shard (contiguous blocks)
+	inWorklist  []bool // router -> whether listed in its shard's worklist
 
 	ejBusy  []int64 // endpoint -> ejection-channel busy-until
 	injBusy []int64 // endpoint -> injection serialization
 
-	arrivals [][]inflight // ring buffer by cycle
-	now      int64
-	rng      *rand.Rand
+	// mail[(src*numShards+dst)*ringLen+slot] holds packets forwarded by
+	// shard src to queues owned by shard dst, arriving at cycle slot.
+	// Written only by src (during its arbitration), drained only by dst
+	// (at the start of its next arbitration) in fixed src order.
+	mail    [][]inflight
+	ringLen int
 
-	// Injection scratch, bound once so steady-state cycles allocate
-	// nothing: the reusable path buffer and the Occupancy method value.
-	pathBuf []int
-	occFn   OccFn
+	now       int64
+	rng       *rand.Rand // serial generation stream: calendar gaps + destinations
+	measuring bool       // current cycle inside the measurement window
+
+	shards [numShards]*shardState
 
 	// Generation calendar: a binary min-heap of (cycle<<24 | endpoint)
 	// events, equivalent to per-cycle Bernoulli draws but skipping idle
@@ -150,15 +203,35 @@ type Engine struct {
 	genHeap []int64
 	logQ    float64 // ln(1 - pktProb), < 0
 
-	backlogMeasEnd int // injection-queue backlog when measurement ended
+	pktCtr         int64 // injection counter: per-packet route-RNG seeds
+	backlogMeasEnd int   // injection-queue backlog when measurement ended
+	generatedMeas  int64
 
-	// Metrics.
+	pool workerPool
+}
+
+// shardState is the per-shard slice of the engine: the active-router
+// worklist, the injection/forward/release journals, the routing engine
+// clone with its scratch, and the metric accumulators. Every field is
+// touched only by the shard that owns it during the parallel phases;
+// journals are drained in fixed shard order.
+type shardState struct {
+	routers  []int32      // active-router worklist (lazy deletion via inWorklist)
+	pending  []pendingInj // packets generated this cycle on this shard's routers
+	releases []int32      // channel units whose credit frees at commit
+
+	routing Routing
+	rngSrc  splitmix
+	rng     *rand.Rand
+	pathBuf []int
+	occFn   OccFn
+
+	// Metrics, merged in shard order after the run.
 	deliveredAll   int64
 	deliveredMeas  int64
-	generatedMeas  int64
 	latencySumMeas int64
 	latencyMax     int64
-	injectedFlits  int64 // measured-window flit deliveries for throughput
+	injectedFlits  int64
 }
 
 // NewEngine builds a simulator for graph g with the endpoint arrangement
@@ -180,10 +253,30 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 	if e.vcs < 1 {
 		e.vcs = 1
 	}
+	e.workers = params.Workers
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	if e.workers > numShards {
+		e.workers = numShards
+	}
 	n := g.N()
 	nChans := g.NumChannels()
 	e.busy = make([]int64, nChans)
 	e.occ = make([]int32, nChans*e.vcs)
+	e.occSum = make([]int32, nChans)
+	if n*n <= 1<<22 { // ≤ 16 MB; covers every Table-3 configuration
+		e.chanIdx = make([]int32, n*n)
+		for i := range e.chanIdx {
+			e.chanIdx[i] = -1
+		}
+		for u := 0; u < n; u++ {
+			first := g.FirstChannel(u)
+			for k, w := range g.Neighbors(u) {
+				e.chanIdx[u*n+int(w)] = int32(first + k)
+			}
+		}
+	}
 
 	numChanUnits := nChans * e.vcs
 	e.injBase = numChanUnits
@@ -199,32 +292,56 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 	}
 	e.active = make([][]int32, n)
 	e.inActive = make([]bool, len(e.queues))
+	e.inWorklist = make([]bool, n)
+	e.routerShard = make([]int8, n)
+	for r := 0; r < n; r++ {
+		e.routerShard[r] = int8(r * numShards / n)
+	}
 	e.ejBusy = make([]int64, e.cfg.Endpoints())
 	e.injBusy = make([]int64, e.cfg.Endpoints())
-	ringLen := params.PacketFlits + params.LinkLatency + 2
-	e.arrivals = make([][]inflight, ringLen)
-	e.occFn = e.Occupancy
+	e.ringLen = params.PacketFlits + params.LinkLatency + 2
+	e.mail = make([][]inflight, numShards*numShards*e.ringLen)
+	for s := 0; s < numShards; s++ {
+		sh := &shardState{routing: routing.Clone()}
+		sh.rng = rand.New(&sh.rngSrc)
+		sh.occFn = e.Occupancy
+		e.shards[s] = sh
+	}
+	e.pool.start(e)
 	return e
 }
 
-// Occupancy implements OccFn over all VCs of channel u→v.
+// Occupancy implements OccFn over all VCs of channel u→v. During the
+// routing phase the occupancy arrays are stable (grants and releases
+// land in the arbitration and commit phases), so adaptive routing reads
+// a consistent previous-cycle snapshot.
 func (e *Engine) Occupancy(u, v int) int {
-	c := e.g.ChannelID(u, v)
+	c := e.channelID(u, v)
 	if c < 0 {
 		return 0
 	}
-	s := int32(0)
-	for vc := 0; vc < e.vcs; vc++ {
-		s += e.occ[c*e.vcs+vc]
-	}
-	return int(s)
+	return int(e.occSum[c])
 }
 
-func (e *Engine) markActive(unit int32) {
+func (e *Engine) channelID(u, v int) int {
+	if e.chanIdx != nil {
+		return int(e.chanIdx[u*e.g.N()+v])
+	}
+	return e.g.ChannelID(u, v)
+}
+
+// markActive lists a newly non-empty unit on its router, and the router
+// on the owning shard's worklist. Callers are always the owning shard
+// (or the serial sections), so no synchronization is needed.
+func (e *Engine) markActive(unit int32, sh *shardState) {
 	if !e.inActive[unit] {
 		e.inActive[unit] = true
 		r := e.unitHome[unit]
 		e.active[r] = append(e.active[r], unit)
+		if !e.inWorklist[r] {
+			e.inWorklist[r] = true
+			sh.routers = append(sh.routers, r)
+		}
 	}
 }
 
@@ -241,59 +358,48 @@ func (e *Engine) Run(load float64) Result {
 		e.stepCycle(t)
 	}
 	e.now = total
+	e.pool.stop()
 	return e.result(load)
 }
 
-// stepCycle advances the simulation by one cycle: deliveries, packet
-// generation, per-router arbitration, and the measurement-end snapshot.
+// stepCycle advances the simulation by one cycle:
+//
+//  1. generation (serial: the calendar and the traffic pattern share one
+//     RNG stream), queuing pending injections on their routers' shards;
+//  2. the routing phase (parallel over shards): each shard routes its
+//     pending packets with a per-packet-seeded RNG, resolves the path to
+//     channel ids, and enqueues them on its injection queues;
+//  3. the arbitration phase (parallel over shards): each shard drains
+//     the packets other shards forwarded to it (in fixed shard order),
+//     then arbitrates its active routers, writing only router-owned
+//     state and journaling forwards and credit releases;
+//  4. commit (serial): journaled credit releases are applied in shard
+//     order, making them visible to the next cycle.
+//
 // In steady state (all queues, rings and scratch buffers at their
 // high-water capacity) a cycle performs zero heap allocations — see the
 // AllocsPerRun regression test.
 func (e *Engine) stepCycle(t int64) {
 	e.now = t
-	S := int64(e.p.PacketFlits)
-	// 1. Deliver in-flight packets arriving this cycle.
-	slot := t % int64(len(e.arrivals))
-	for _, a := range e.arrivals[slot] {
-		q := &e.queues[a.unit]
-		q.push(a.pkt)
-		e.markActive(a.unit)
-	}
-	e.arrivals[slot] = e.arrivals[slot][:0]
-
-	// 2. Generate new packets (stops at drain start so the network
-	// can empty; enforced by the calendar horizon).
+	e.measuring = t >= int64(e.p.Warmup) && t < int64(e.p.Warmup+e.p.Measure)
 	e.generate(t)
+	e.pool.run(phaseRoute)
+	e.pool.run(phaseArbitrate)
+	e.commit(t)
+}
 
-	// 3. Arbitrate per router.
-	for r := 0; r < e.g.N(); r++ {
-		units := e.active[r]
-		if len(units) == 0 {
-			continue
+// commit applies the per-shard credit-release journals in fixed shard
+// order. Releases become visible only here — after every router has
+// arbitrated — which is what decouples the routers within a cycle.
+func (e *Engine) commit(t int64) {
+	S := int32(e.p.PacketFlits)
+	vcs := int32(e.vcs)
+	for _, sh := range e.shards {
+		for _, unit := range sh.releases {
+			e.occ[unit] -= S
+			e.occSum[unit/vcs] -= S
 		}
-		kept := units[:0]
-		// Round-robin: rotate by cycle to avoid static priority.
-		off := int(t) % len(units)
-		for i := 0; i < len(units); i++ {
-			unit := units[(i+off)%len(units)]
-			q := &e.queues[unit]
-			if q.empty() {
-				e.inActive[unit] = false
-				continue
-			}
-			e.tryForward(r, unit, q, S)
-			if q.empty() {
-				e.inActive[unit] = false
-			}
-		}
-		// Rebuild the active list without emptied units (preserving
-		// original order for fairness stability).
-		for _, unit := range units {
-			if e.inActive[unit] {
-				kept = append(kept, unit)
-			}
-		}
-		e.active[r] = kept
+		sh.releases = sh.releases[:0]
 	}
 	if t == int64(e.p.Warmup+e.p.Measure)-1 {
 		// Source backlog only: packets still waiting in injection
@@ -376,7 +482,10 @@ func (e *Engine) initGeneration(pktProb float64) {
 	}
 }
 
-// generate pops every endpoint scheduled to emit a packet this cycle.
+// generate pops every endpoint scheduled to emit a packet this cycle and
+// records the pending injection on the source router's shard. Only the
+// destination draw consumes the engine RNG; routing happens in the
+// parallel phase under a per-packet seed.
 func (e *Engine) generate(t int64) {
 	horizon := int64(e.p.Warmup + e.p.Measure)
 	for len(e.genHeap) > 0 && e.genHeap[0]>>24 <= t {
@@ -388,138 +497,207 @@ func (e *Engine) generate(t int64) {
 		if dst < 0 {
 			continue
 		}
-		srcR, dstR := e.cfg.RouterOf(ep), e.cfg.RouterOf(dst)
-		var pkt packet
-		pkt.gen = t
-		pkt.dstEP = int32(dst)
-		pkt.measure = t >= int64(e.p.Warmup) && t < int64(e.p.Warmup+e.p.Measure)
-		if srcR == dstR {
-			pkt.path[0] = int32(srcR)
-			pkt.nPath = 1
-		} else {
-			e.pathBuf = e.routing.Path(e.pathBuf[:0], srcR, dstR, e.occFn, e.rng)
-			path := e.pathBuf
-			if len(path) == 0 {
-				// Unroutable (degraded topologies): the packet is lost.
-				// It still counts as generated, so DeliveredFrac reflects
-				// the loss.
-				if pkt.measure {
-					e.generatedMeas++
-				}
-				continue
-			}
-			if len(path) > MaxPathNodes {
-				panic(fmt.Sprintf("sim: path of %d nodes exceeds MaxPathNodes", len(path)))
-			}
-			for i, v := range path {
-				pkt.path[i] = int32(v)
-			}
-			pkt.nPath = int8(len(path))
-		}
-		if pkt.measure {
+		if e.measuring {
 			e.generatedMeas++
 		}
-		unit := int32(e.injBase + ep)
+		sh := e.shards[e.routerShard[e.cfg.RouterOf(ep)]]
+		sh.pending = append(sh.pending, pendingInj{ep: int32(ep), dst: int32(dst), ctr: e.pktCtr})
+		e.pktCtr++
+	}
+}
+
+// routeShard is the routing phase of one shard: route every pending
+// packet, resolve the vertex path to channel ids once, and enqueue it on
+// the source endpoint's injection queue. Occupancy reads (UGAL) see the
+// stable previous-cycle state; the per-packet seed makes the result
+// independent of how packets are spread over shards and workers.
+func (e *Engine) routeShard(sh *shardState) {
+	for _, pi := range sh.pending {
+		srcR, dstR := e.cfg.RouterOf(int(pi.ep)), e.cfg.RouterOf(int(pi.dst))
+		var pkt packet
+		pkt.gen = e.now
+		pkt.dstEP = pi.dst
+		pkt.measure = e.measuring
+		if srcR != dstR {
+			sh.rngSrc.seed(e.p.Seed, pi.ctr)
+			sh.pathBuf = sh.routing.Path(sh.pathBuf[:0], srcR, dstR, sh.occFn, sh.rng)
+			path := sh.pathBuf
+			if len(path) == 0 || len(path) > MaxPathNodes {
+				// Unroutable, or beyond the simulator's path/VC budget
+				// (deeply degraded topologies stretch paths arbitrarily;
+				// a path longer than the VC ladder is undeliverable
+				// deadlock-free): the packet is lost. It still counted
+				// as generated, so DeliveredFrac reflects the loss.
+				continue
+			}
+			for i := 0; i+1 < len(path); i++ {
+				c := e.channelID(path[i], path[i+1])
+				if c < 0 {
+					panic("sim: packet path uses a non-edge")
+				}
+				pkt.chans[i] = int32(c)
+			}
+			pkt.nHops = int8(len(path) - 1)
+		}
+		unit := int32(e.injBase + int(pi.ep))
 		e.queues[unit].push(pkt)
-		e.markActive(unit)
+		e.markActive(unit, sh)
 	}
+	sh.pending = sh.pending[:0]
 }
 
-// tryForward attempts to advance the head packet of a unit queue at
-// router r: at most one packet per input unit per cycle; one grant per
-// output resource per cycle is enforced by the busy timestamps.
-func (e *Engine) tryForward(r int, unit int32, q *pktQueue, S int64) {
-	{
-		pkt := q.front()
-		// Injection serialization: a packet leaves its endpoint at most
-		// every S cycles.
-		if int(unit) >= e.injBase {
-			ep := int(unit) - e.injBase
-			if e.injBusy[ep] > e.now {
-				return
+// arbitrateShard is the arbitration phase of one shard: drain the
+// packets other shards forwarded to this shard's queues (fixed source
+// order keeps queue contents deterministic), then arbitrate the active
+// routers of the worklist.
+func (e *Engine) arbitrateShard(sh *shardState, sid int) {
+	t := e.now
+	slot := int(t % int64(e.ringLen))
+	for src := 0; src < numShards; src++ {
+		box := &e.mail[(src*numShards+sid)*e.ringLen+slot]
+		for i := range *box {
+			a := &(*box)[i]
+			e.queues[a.unit].push(a.pkt)
+			e.markActive(a.unit, sh)
+		}
+		*box = (*box)[:0]
+	}
+
+	S := int64(e.p.PacketFlits)
+	kept := sh.routers[:0]
+	for _, r := range sh.routers {
+		units := e.active[r]
+		keptUnits := units[:0]
+		// Round-robin: rotate by cycle to avoid static priority. The
+		// rotation is computed in int64 so 32-bit ints cannot truncate
+		// the cycle count.
+		off := int(t % int64(len(units)))
+		for i := 0; i < len(units); i++ {
+			unit := units[(i+off)%len(units)]
+			q := &e.queues[unit]
+			if q.empty() {
+				e.inActive[unit] = false
+				continue
+			}
+			e.tryForward(sh, sid, unit, q, S)
+			if q.empty() {
+				e.inActive[unit] = false
 			}
 		}
-		atDst := int(pkt.hop) == int(pkt.nPath)-1
-		if atDst {
-			// Ejection to the destination endpoint.
-			ep := pkt.dstEP
-			if e.ejBusy[ep] > e.now {
-				return
+		// Rebuild the active list without emptied units (preserving
+		// original order for fairness stability).
+		for _, unit := range units {
+			if e.inActive[unit] {
+				keptUnits = append(keptUnits, unit)
 			}
-			e.ejBusy[ep] = e.now + S
-			e.deliver(pkt, e.now+S)
-			e.release(unit, S)
-			q.pop()
+		}
+		e.active[r] = keptUnits
+		if len(keptUnits) == 0 {
+			e.inWorklist[r] = false
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	sh.routers = kept
+}
+
+// tryForward attempts to advance the head packet of a unit queue: at
+// most one packet per input unit per cycle; one grant per output
+// resource per cycle is enforced by the busy timestamps. All state it
+// writes is owned by the arbitrating router (channel busy/occ of its
+// outgoing channels, its endpoints' injection/ejection serialization);
+// effects on other routers — forwarded packets, freed credits — go into
+// the shard journals.
+func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S int64) {
+	pkt := q.front()
+	// Injection serialization: a packet leaves its endpoint at most
+	// every S cycles.
+	if int(unit) >= e.injBase {
+		ep := int(unit) - e.injBase
+		if e.injBusy[ep] > e.now {
 			return
 		}
-		next := int(pkt.path[pkt.hop+1])
-		c := e.g.ChannelID(r, next)
-		if c < 0 {
-			panic("sim: packet path uses a non-edge")
-		}
-		if e.busy[c] > e.now {
+	}
+	if pkt.hop == pkt.nHops {
+		// Ejection to the destination endpoint.
+		ep := pkt.dstEP
+		if e.ejBusy[ep] > e.now {
 			return
 		}
-		// VC allocation: each hop must use a VC strictly greater than the
-		// packet's current one (injection starts below VC 0), so VC
-		// indices strictly increase along every path and the channel/VC
-		// dependency graph stays acyclic — while still letting packets
-		// spread over the free VCs to reduce head-of-line blocking.
-		// Pick the eligible VC with the most free credits.
-		minVC := 0
-		if int(unit) < e.injBase {
-			minVC = int(unit)%e.vcs + 1
-		}
-		// Leave VC headroom for the links after this one: choosing too
-		// high a VC now would strand the packet later.
-		remaining := int(pkt.nPath) - 2 - int(pkt.hop)
-		maxVC := e.vcs - 1 - remaining
-		if minVC > maxVC {
-			panic("sim: path longer than VC count")
-		}
-		slotIdx, bestFree := -1, 0
-		for vc := minVC; vc <= maxVC; vc++ {
-			idx := int(c)*e.vcs + vc
-			if free := e.p.BufFlitsPerVC - int(e.occ[idx]); free >= int(S) && free > bestFree {
-				slotIdx, bestFree = idx, free
-			}
-		}
-		if slotIdx < 0 {
-			return // no credits downstream on any eligible VC
-		}
-		// Grant.
-		e.occ[slotIdx] += int32(S)
-		e.busy[c] = e.now + S
-		if int(unit) >= e.injBase {
-			e.injBusy[int(unit)-e.injBase] = e.now + S
-		}
-		fwd := *pkt
-		fwd.hop++
-		arrive := (e.now + S + int64(e.p.LinkLatency)) % int64(len(e.arrivals))
-		e.arrivals[arrive] = append(e.arrivals[arrive], inflight{pkt: fwd, unit: int32(slotIdx)})
-		e.release(unit, S)
+		e.ejBusy[ep] = e.now + S
+		sh.deliver(pkt, e.now+S, e.p.PacketFlits)
+		e.release(sh, unit)
 		q.pop()
+		return
 	}
-}
-
-// release frees the upstream buffer credit when a packet leaves a channel
-// queue (injection queues are unbounded and hold no credits).
-func (e *Engine) release(unit int32, S int64) {
+	c := pkt.chans[pkt.hop]
+	if e.busy[c] > e.now {
+		return
+	}
+	// VC allocation: each hop must use a VC strictly greater than the
+	// packet's current one (injection starts below VC 0), so VC
+	// indices strictly increase along every path and the channel/VC
+	// dependency graph stays acyclic — while still letting packets
+	// spread over the free VCs to reduce head-of-line blocking.
+	// Pick the eligible VC with the most free credits.
+	minVC := 0
 	if int(unit) < e.injBase {
-		e.occ[unit] -= int32(S)
+		minVC = int(unit)%e.vcs + 1
+	}
+	// Leave VC headroom for the links after this one: choosing too
+	// high a VC now would strand the packet later.
+	remaining := int(pkt.nHops) - 1 - int(pkt.hop)
+	maxVC := e.vcs - 1 - remaining
+	if minVC > maxVC {
+		panic("sim: path longer than VC count")
+	}
+	slotIdx, bestFree := -1, 0
+	for vc := minVC; vc <= maxVC; vc++ {
+		idx := int(c)*e.vcs + vc
+		if free := e.p.BufFlitsPerVC - int(e.occ[idx]); free >= int(S) && free > bestFree {
+			slotIdx, bestFree = idx, free
+		}
+	}
+	if slotIdx < 0 {
+		return // no credits downstream on any eligible VC
+	}
+	// Grant.
+	e.occ[slotIdx] += int32(S)
+	e.occSum[c] += int32(S)
+	e.busy[c] = e.now + S
+	if int(unit) >= e.injBase {
+		e.injBusy[int(unit)-e.injBase] = e.now + S
+	}
+	fwd := *pkt
+	fwd.hop++
+	dstShard := int(e.routerShard[e.g.ChannelTo(int(c))])
+	arrive := int((e.now + S + int64(e.p.LinkLatency)) % int64(e.ringLen))
+	box := &e.mail[(sid*numShards+dstShard)*e.ringLen+arrive]
+	*box = append(*box, inflight{pkt: fwd, unit: int32(slotIdx)})
+	e.release(sh, unit)
+	q.pop()
+}
+
+// release journals the upstream buffer credit freed when a packet leaves
+// a channel queue (injection queues are unbounded and hold no credits).
+// The credit becomes visible at commit, after every router has
+// arbitrated this cycle.
+func (e *Engine) release(sh *shardState, unit int32) {
+	if int(unit) < e.injBase {
+		sh.releases = append(sh.releases, unit)
 	}
 }
 
-func (e *Engine) deliver(pkt *packet, at int64) {
-	e.deliveredAll++
+func (sh *shardState) deliver(pkt *packet, at int64, flits int) {
+	sh.deliveredAll++
 	if pkt.measure {
-		e.deliveredMeas++
+		sh.deliveredMeas++
 		lat := at - pkt.gen
-		e.latencySumMeas += lat
-		if lat > e.latencyMax {
-			e.latencyMax = lat
+		sh.latencySumMeas += lat
+		if lat > sh.latencyMax {
+			sh.latencyMax = lat
 		}
-		e.injectedFlits += int64(e.p.PacketFlits)
+		sh.injectedFlits += int64(flits)
 	}
 }
 
@@ -536,15 +714,24 @@ type Result struct {
 }
 
 func (e *Engine) result(load float64) Result {
+	var deliveredMeas, latencySum, latencyMax, injectedFlits int64
+	for _, sh := range e.shards {
+		deliveredMeas += sh.deliveredMeas
+		latencySum += sh.latencySumMeas
+		injectedFlits += sh.injectedFlits
+		if sh.latencyMax > latencyMax {
+			latencyMax = sh.latencyMax
+		}
+	}
 	res := Result{Load: load}
-	if e.deliveredMeas > 0 {
-		res.AvgLatency = float64(e.latencySumMeas) / float64(e.deliveredMeas)
-		res.MaxLatency = e.latencyMax
+	if deliveredMeas > 0 {
+		res.AvgLatency = float64(latencySum) / float64(deliveredMeas)
+		res.MaxLatency = latencyMax
 	}
 	if e.generatedMeas > 0 {
-		res.DeliveredFrac = float64(e.deliveredMeas) / float64(e.generatedMeas)
+		res.DeliveredFrac = float64(deliveredMeas) / float64(e.generatedMeas)
 	}
-	res.Throughput = float64(e.injectedFlits) / float64(e.cfg.Endpoints()) / float64(e.p.Measure)
+	res.Throughput = float64(injectedFlits) / float64(e.cfg.Endpoints()) / float64(e.p.Measure)
 	for i := range e.queues {
 		res.Backlog += e.queues[i].len()
 	}

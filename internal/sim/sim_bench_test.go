@@ -16,6 +16,21 @@ func BenchmarkSimRunPSIQSmall(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep measures a whole latency-load sweep on the small
+// PolarStar — the CI smoke for the two-level (load × shard) parallelism.
+func BenchmarkSweep(b *testing.B) {
+	spec := MustNewSpec("ps-iq-small")
+	p := DefaultParams(1)
+	p.Warmup, p.Measure, p.Drain = 500, 1000, 1500
+	loads := []float64{0.1, 0.3, 0.5}
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i)
+		if _, err := Sweep(spec, UGALMode, "uniform", loads, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSpecConstruction(b *testing.B) {
 	for _, name := range []string{"ps-iq-small", "df-small", "ft-small"} {
 		b.Run(name, func(b *testing.B) {

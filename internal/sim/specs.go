@@ -141,9 +141,14 @@ func (s *Spec) Degraded(removed [][2]int) *Spec {
 // distance table on every trial.
 func (s *Spec) DegradedInto(removed [][2]int, slab []uint8) *Spec {
 	g := s.Graph.RemoveEdges(removed)
-	d := int(g.Diameter())
-	if d < 0 {
-		d = s.MinHops * 3 // disconnected: bound paths loosely
+	tab := route.NewTableInto(g, route.MultiPath, slab)
+	// The exact path-length bound of the degraded network: its largest
+	// component's diameter (link failures stretch paths well beyond the
+	// intact diameter, and a guessed bound either wastes VCs or panics
+	// the engine's VC allocator).
+	d := tab.MaxDist()
+	if d < 1 {
+		d = 1
 	}
 	return &Spec{
 		Name:      s.Name + "-degraded",
@@ -152,7 +157,7 @@ func (s *Spec) DegradedInto(removed [][2]int, slab []uint8) *Spec {
 		Hosts:     s.Hosts,
 		NumGroups: s.NumGroups,
 		GroupOf:   s.GroupOf,
-		MinEngine: route.NewTableInto(g, route.MultiPath, slab),
+		MinEngine: tab,
 		MinHops:   d,
 		UGALMids:  s.UGALMids,
 	}

@@ -29,8 +29,7 @@ type ER struct {
 	Field *gf.Field
 	G     *graph.Graph
 
-	vecs  [][3]int       // vertex id -> left-normalized coordinates
-	index map[[3]int]int // left-normalized coordinates -> vertex id
+	vecs [][3]int // vertex id -> left-normalized coordinates
 }
 
 // NewER constructs ER_q. q must be a prime power.
@@ -44,7 +43,6 @@ func NewER(q int) (*ER, error) {
 		Q:     q,
 		Field: f,
 		vecs:  make([][3]int, 0, n),
-		index: make(map[[3]int]int, n),
 	}
 	// Left-normalized projective points: (1,a,b), (0,1,a), (0,0,1).
 	for a := 0; a < q; a++ {
@@ -79,7 +77,6 @@ func MustNewER(q int) *ER {
 }
 
 func (e *ER) addVec(v [3]int) {
-	e.index[v] = len(e.vecs)
 	e.vecs = append(e.vecs, v)
 }
 
@@ -99,14 +96,23 @@ func (e *ER) Degree() int { return e.Q + 1 }
 func (e *ER) Vector(v int) [3]int { return e.vecs[v] }
 
 // VertexOf returns the vertex id of a (not necessarily normalized)
-// non-zero coordinate vector.
+// non-zero coordinate vector. Ids follow the construction order of
+// NewER, so the left-normalized form indexes in closed form — the §9.2
+// analytic router resolves one cross product per 2-hop query, and this
+// lookup is on that hot path.
 func (e *ER) VertexOf(vec [3]int) (int, bool) {
 	norm, ok := e.normalize(vec)
 	if !ok {
 		return 0, false
 	}
-	id, ok := e.index[norm]
-	return id, ok
+	switch {
+	case norm[0] == 1: // (1,a,b) -> a·q+b
+		return norm[1]*e.Q + norm[2], true
+	case norm[1] == 1: // (0,1,a) -> q²+a
+		return e.Q*e.Q + norm[2], true
+	default: // (0,0,1)
+		return e.Q*e.Q + e.Q, true
+	}
 }
 
 // normalize scales vec so its leftmost non-zero entry is 1.

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"fmt"
+	"sort"
 
 	"polarstar/internal/gf"
 	"polarstar/internal/graph"
@@ -113,6 +114,17 @@ func NewLPS(p, q int) (*LPS, error) {
 	for m := range genSet {
 		gens = append(gens, m)
 	}
+	// Map iteration order is random per run; the generator order drives
+	// the BFS closure and therefore the vertex numbering. Sort so every
+	// NewLPS call labels the graph identically.
+	sort.Slice(gens, func(i, j int) bool {
+		for k := 0; k < 4; k++ {
+			if gens[i][k] != gens[j][k] {
+				return gens[i][k] < gens[j][k]
+			}
+		}
+		return false
+	})
 
 	mul := func(x, y mat) mat {
 		return mat{

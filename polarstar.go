@@ -293,6 +293,13 @@ type FaultBands = faults.Bands
 // RunFaultBands computes quartile resilience curves over many trials.
 var RunFaultBands = faults.RunBands
 
+// FaultTrafficPoint is one failure fraction of a degraded-traffic sweep.
+type FaultTrafficPoint = faults.TrafficPoint
+
+// FaultTrafficSweep simulates traffic on progressively degraded
+// topologies (the dynamic complement of the structural §11.2 sweep).
+var FaultTrafficSweep = faults.TrafficSweep
+
 // ---------------------------------------------------------------------
 // Path diversity and in-network collectives (extensions).
 
