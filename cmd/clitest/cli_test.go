@@ -1,0 +1,233 @@
+package clitest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+var binaries = []string{
+	"psgen", "psroute", "psscale", "psbisect",
+	"pssim", "psfig", "psfaults", "psmotifs",
+}
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "polarstar-clitest")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	args := []string{"build", "-o", dir}
+	for _, b := range binaries {
+		args = append(args, "polarstar/cmd/"+b)
+	}
+	build := exec.Command("go", args...)
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building binaries: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes one built binary and returns its stdout, failing the test
+// on a non-zero exit or empty output.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, bin), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr: %s", bin, strings.Join(args, " "), err, stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Fatalf("%s %s: empty stdout", bin, strings.Join(args, " "))
+	}
+	return stdout.String()
+}
+
+// artifact reads and decodes a -metrics JSON file.
+func artifact(t *testing.T, path string) map[string]any {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("metrics artifact %s: %v", path, err)
+	}
+	return m
+}
+
+func field(t *testing.T, m map[string]any, path ...string) any {
+	t.Helper()
+	var cur any = m
+	for _, k := range path {
+		obj, ok := cur.(map[string]any)
+		if !ok || obj[k] == nil {
+			t.Fatalf("artifact missing field %s", strings.Join(path, "."))
+		}
+		cur = obj[k]
+	}
+	return cur
+}
+
+func TestPsgen(t *testing.T) {
+	out := run(t, "psgen", "-topo", "er", "-q", "5", "-stats")
+	if !strings.Contains(out, "31") {
+		t.Errorf("psgen er q=5 stats missing order 31:\n%s", out)
+	}
+}
+
+func TestPsroute(t *testing.T) {
+	out := run(t, "psroute", "-spec", "ps-iq-small", "-src", "0", "-dst", "5")
+	if !strings.Contains(out, "0") || !strings.Contains(out, "5") {
+		t.Errorf("psroute output missing endpoints:\n%s", out)
+	}
+}
+
+func TestPsscale(t *testing.T) {
+	out := run(t, "psscale", "-fig", "7", "-lo", "8", "-hi", "10")
+	if !strings.Contains(out, "radix") {
+		t.Errorf("psscale fig 7 missing header:\n%s", out)
+	}
+}
+
+func TestPsbisect(t *testing.T) {
+	out := run(t, "psbisect", "-lo", "8", "-hi", "8")
+	if !strings.Contains(out, "8") {
+		t.Errorf("psbisect radix-8 sweep output:\n%s", out)
+	}
+}
+
+// TestPssimMetrics is the acceptance check of the telemetry layer: a
+// small pssim run must emit latency quantiles, per-channel occupancy
+// high-water marks and stall counters, and an equally seeded re-run must
+// reproduce the artifact byte for byte with timing disabled.
+func TestPssimMetrics(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.json")
+	args := []string{"-spec", "ps-iq-small", "-cycles", "60", "-loads", "0.2",
+		"-seed", "7", "-workers", "2", "-metrics", out, "-metrics-timing=false"}
+	stdout := run(t, "pssim", args...)
+	if !strings.Contains(stdout, "0.2") {
+		t.Errorf("pssim sweep output missing the load point:\n%s", stdout)
+	}
+	m := artifact(t, out)
+	if got := field(t, m, "manifest", "tool"); got != "pssim" {
+		t.Errorf("manifest tool = %v", got)
+	}
+	points := field(t, m, "sim", "points").([]any)
+	if len(points) != 1 {
+		t.Fatalf("sim.points has %d entries, want 1", len(points))
+	}
+	p := points[0].(map[string]any)
+	lat := field(t, p, "latency_cycles").(map[string]any)
+	for _, q := range []string{"p50", "p95", "p99"} {
+		v, ok := lat[q].(float64)
+		if !ok || v <= 0 {
+			t.Errorf("latency quantile %s = %v, want > 0", q, lat[q])
+		}
+	}
+	hwm := field(t, p, "channel_occupancy_hwm").(map[string]any)
+	if v, ok := hwm["max"].(float64); !ok || v <= 0 {
+		t.Errorf("channel occupancy max = %v, want > 0", hwm["max"])
+	}
+	for _, k := range []string{"stall_inject", "stall_eject", "stall_channel", "stall_credit"} {
+		if _, ok := p[k]; !ok {
+			t.Errorf("sim point missing stall counter %s", k)
+		}
+	}
+
+	first, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, "pssim", args...)
+	second, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("equal-seed re-run produced a different metrics artifact")
+	}
+
+	// The metrics payload must also be worker-count invariant: only the
+	// manifest args (which echo the flags) may differ.
+	out4 := filepath.Join(t.TempDir(), "m4.json")
+	args4 := append(append([]string{}, args...), "-workers", "4")
+	for i, a := range args4 {
+		if a == out {
+			args4[i] = out4
+		}
+	}
+	run(t, "pssim", args4...)
+	if a, b := artifact(t, out), artifact(t, out4); !reflect.DeepEqual(a["sim"], b["sim"]) {
+		t.Error("sim metrics differ between -workers 2 and -workers 4")
+	}
+}
+
+func TestPsfigMetrics(t *testing.T) {
+	tmp := t.TempDir()
+	out := filepath.Join(tmp, "fig.json")
+	run(t, "psfig", "-only", "fig7", "-out", tmp, "-metrics", out, "-metrics-timing=false")
+	m := artifact(t, out)
+	figs := field(t, m, "figures").([]any)
+	if len(figs) != 1 {
+		t.Fatalf("figures has %d entries, want 1", len(figs))
+	}
+	if got := field(t, figs[0].(map[string]any), "name"); got != "fig7" {
+		t.Errorf("figure name = %v, want fig7", got)
+	}
+}
+
+func TestPsfaultsMetrics(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "faults.json")
+	stdout := run(t, "psfaults", "-spec", "ps-iq-small", "-trials", "3",
+		"-metrics", out, "-metrics-timing=false")
+	if !strings.Contains(stdout, "fail") && !strings.Contains(stdout, "frac") {
+		t.Errorf("psfaults output missing sweep table:\n%s", stdout)
+	}
+	m := artifact(t, out)
+	if d := field(t, m, "faults", "intact_diameter").(float64); d < 1 || d > 3 {
+		t.Errorf("intact diameter %v, want in [1, 3]", d)
+	}
+	if trials := field(t, m, "faults", "trials").([]any); len(trials) != 3 {
+		t.Errorf("faults.trials has %d entries, want 3", len(trials))
+	}
+	if _, ok := field(t, m, "faults", "median").(map[string]any); !ok {
+		t.Error("faults.median missing")
+	}
+}
+
+func TestPsmotifsMetrics(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "motifs.json")
+	run(t, "psmotifs", "-motif", "allreduce", "-specs", "ps-iq-small",
+		"-ranks", "32", "-iters", "1", "-metrics", out, "-metrics-timing=false")
+	m := artifact(t, out)
+	flows := field(t, m, "flows").([]any)
+	if len(flows) != 2 {
+		t.Fatalf("flows has %d entries, want 2 (MIN and UGAL)", len(flows))
+	}
+	for _, f := range flows {
+		fr := f.(map[string]any)
+		if us, ok := fr["completion_us"].(float64); !ok || us <= 0 {
+			t.Errorf("flow %v completion_us = %v, want > 0", fr["routing"], fr["completion_us"])
+		}
+		if msgs := field(t, fr, "messages").(float64); msgs <= 0 {
+			t.Errorf("flow %v delivered %v messages", fr["routing"], msgs)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+// Package clitest smoke-tests every command-line tool end to end: it
+// builds all eight binaries once per test run and executes each against
+// a scaled-down spec, asserting exit status, non-empty output, and — for
+// the instrumented CLIs — a parseable, deterministic metrics artifact.
+package clitest

@@ -19,6 +19,7 @@ import (
 	"runtime"
 
 	"polarstar/internal/faults"
+	"polarstar/internal/obs"
 	"polarstar/internal/plot"
 	"polarstar/internal/prof"
 	"polarstar/internal/sim"
@@ -35,6 +36,7 @@ func main() {
 		mode     = flag.String("mode", "min", "routing for -traffic: min, ugal")
 		pattern  = flag.String("pattern", "uniform", "traffic pattern for -traffic")
 		workers  = flag.Int("workers", 0, "engine shard workers per -traffic run (0: one per core)")
+		met      = obs.Flags()
 	)
 	flag.Parse()
 	defer prof.Start()()
@@ -44,14 +46,26 @@ func main() {
 		fatal(err)
 	}
 	if *traffic {
-		runTraffic(spec, *mode, *pattern, *load, *seed, *workers)
+		runTraffic(spec, *mode, *pattern, *load, *seed, *workers, met)
 		return
 	}
 	var hosts faults.Hosts
 	if spec.Hosts != nil {
 		hosts = spec.Hosts // indirect topologies: endpoint routers only
 	}
-	tr := faults.MedianTrial(spec.Graph, hosts, *trials, *seed, faults.DefaultFracs)
+	var run *obs.Run
+	var fm *obs.FaultSweep
+	if met.Enabled() {
+		run = obs.NewRun("psfaults")
+		run.Manifest.Spec = spec.Name
+		run.Manifest.Seed = *seed
+		fm = &obs.FaultSweep{Spec: spec.Name}
+		run.Faults = fm
+	}
+	var tr faults.Trial
+	prof.Task(func() {
+		tr = faults.MedianTrialObs(spec.Graph, hosts, *trials, *seed, faults.DefaultFracs, fm)
+	}, "phase", "faults", "spec", spec.Name)
 	fmt.Printf("# %s: %d routers, %d links; median disconnection ratio %.3f (%d trials)\n",
 		spec.Name, spec.Graph.N(), spec.Graph.M(), tr.DisconnectionRatio, *trials)
 	fmt.Printf("%-10s %-10s %-10s %-10s\n", "failfrac", "diameter", "avgpath", "connected")
@@ -90,20 +104,43 @@ func main() {
 		}
 		fmt.Printf("# wrote %s\n", *svgOut)
 	}
+	if met.Enabled() {
+		if err := met.Write(run); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote metrics %s\n", *met.Path)
+	}
 }
 
-func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, workers int) {
+func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, workers int, met *obs.FlagSet) {
 	m := sim.MIN
 	if mode == "ugal" {
 		m = sim.UGALMode
 	}
 	params := sim.DefaultParams(seed)
+	params.MetricsInterval = *met.Interval
 	if workers > 0 {
 		params.Workers = workers
 	} else {
 		params.Workers = runtime.GOMAXPROCS(0)
 	}
-	pts, err := faults.TrafficSweep(spec, m, pattern, load, faults.DefaultFracs, params, seed)
+	var run *obs.Run
+	var ft *obs.FaultTraffic
+	if met.Enabled() {
+		run = obs.NewRun("psfaults")
+		run.Manifest.Spec = spec.Name
+		run.Manifest.Routing = m.String()
+		run.Manifest.Pattern = pattern
+		run.Manifest.Seed = seed
+		run.Manifest.Workers = params.Workers
+		ft = &obs.FaultTraffic{}
+		run.FaultTraffic = ft
+	}
+	var pts []faults.TrafficPoint
+	var err error
+	prof.Task(func() {
+		pts, err = faults.TrafficSweepObs(spec, m, pattern, load, faults.DefaultFracs, params, seed, ft)
+	}, "phase", "fault-traffic", "spec", spec.Name)
 	if err != nil {
 		fatal(err)
 	}
@@ -111,6 +148,12 @@ func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, 
 	fmt.Printf("%-10s %-8s %-12s %-10s %-10s\n", "failfrac", "removed", "avg-lat", "delivered", "saturated")
 	for _, p := range pts {
 		fmt.Printf("%-10.2f %-8d %-12.2f %-10.3f %-10v\n", p.FailFrac, p.Removed, p.AvgLatency, p.DeliveredFrac, p.Saturated)
+	}
+	if met.Enabled() {
+		if err := met.Write(run); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote metrics %s\n", *met.Path)
 	}
 }
 

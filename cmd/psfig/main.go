@@ -22,17 +22,21 @@ import (
 	"polarstar/internal/flowsim"
 	"polarstar/internal/moore"
 	"polarstar/internal/motifs"
+	"polarstar/internal/obs"
 	"polarstar/internal/partition"
 	"polarstar/internal/plot"
+	"polarstar/internal/prof"
 	"polarstar/internal/sim"
 	"polarstar/internal/topo"
 )
 
 type ctx struct {
-	out     string
-	full    bool
-	seed    int64
-	workers int
+	out         string
+	full        bool
+	seed        int64
+	workers     int
+	fig         *obs.Figure // telemetry section of the figure being built (nil: off)
+	metInterval int
 }
 
 func main() {
@@ -42,12 +46,20 @@ func main() {
 		only = flag.String("only", "", "comma-separated subset: fig1,fig4,fig7,fig9,fig10,fig11,fig12,fig13,fig14,headline")
 		seed = flag.Int64("seed", 1, "seed")
 		wrk  = flag.Int("workers", 0, "sim engine shard workers per run (0: auto-split cores; results identical for any value)")
+		met  = obs.Flags()
 	)
 	flag.Parse()
+	defer prof.Start()()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	c := ctx{out: *out, full: *full, seed: *seed, workers: *wrk}
+	c := ctx{out: *out, full: *full, seed: *seed, workers: *wrk, metInterval: *met.Interval}
+	var artifact *obs.Run
+	if met.Enabled() {
+		artifact = obs.NewRun("psfig")
+		artifact.Manifest.Seed = *seed
+		artifact.Manifest.Workers = *wrk
+	}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*only, ",") {
 		if f = strings.TrimSpace(f); f != "" {
@@ -58,8 +70,15 @@ func main() {
 		if len(want) > 0 && !want[name] {
 			return
 		}
+		c.fig = nil
+		if artifact != nil {
+			c.fig = &obs.Figure{Name: name}
+			artifact.Figures = append(artifact.Figures, c.fig)
+		}
 		start := time.Now()
-		if err := fn(c); err != nil {
+		var err error
+		prof.Task(func() { err = fn(c) }, "phase", name)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "psfig: %s failed: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -75,6 +94,12 @@ func main() {
 	run("fig12", fig12)
 	run("fig13", fig13)
 	run("fig14", fig14)
+	if artifact != nil {
+		if err := met.Write(artifact); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote metrics %s\n", *met.Path)
+	}
 }
 
 func (c ctx) file(name string) (*os.File, error) {
@@ -91,6 +116,7 @@ func (c ctx) simSpecs() []string {
 func (c ctx) simParams() sim.Params {
 	p := sim.DefaultParams(c.seed)
 	p.Workers = c.workers
+	p.MetricsInterval = c.metInterval
 	if !c.full {
 		p.Warmup, p.Measure, p.Drain = 1000, 2000, 4000
 	}
@@ -218,7 +244,12 @@ func simPanel(c ctx, fileStem string, mode sim.RoutingMode, pattern string) erro
 		if err != nil {
 			return err
 		}
-		res, err := sim.Sweep(spec, mode, pattern, c.loads(), c.simParams())
+		var sm *obs.SimSweep
+		if c.fig != nil {
+			sm = obs.NewSimSweep(name, mode.String(), pattern, len(c.loads()))
+			c.fig.Sims = append(c.fig.Sims, sm)
+		}
+		res, err := sim.SweepObs(spec, mode, pattern, c.loads(), c.simParams(), sm)
 		if err != nil {
 			return err
 		}
@@ -380,7 +411,12 @@ func fig14(c ctx) error {
 		if err != nil {
 			return err
 		}
-		tr := faults.MedianTrial(spec.Graph, faults.Hosts(spec.Hosts), trials, c.seed, faults.DefaultFracs)
+		var fm *obs.FaultSweep
+		if c.fig != nil {
+			fm = &obs.FaultSweep{Spec: name}
+			c.fig.Faults = append(c.fig.Faults, fm)
+		}
+		tr := faults.MedianTrialObs(spec.Graph, faults.Hosts(spec.Hosts), trials, c.seed, faults.DefaultFracs, fm)
 		fmt.Fprintf(f, "# %s disconnection ratio %.3f\n", name, tr.DisconnectionRatio)
 		var xs, ys []float64
 		for _, p := range tr.Curve {

@@ -17,6 +17,8 @@ import (
 
 	"polarstar/internal/flowsim"
 	"polarstar/internal/motifs"
+	"polarstar/internal/obs"
+	"polarstar/internal/prof"
 	"polarstar/internal/sim"
 )
 
@@ -29,9 +31,16 @@ func main() {
 		iters    = flag.Int("iters", 10, "iterations (paper: 10)")
 		compute  = flag.Float64("compute", 100, "sweep3d per-cell compute time (ns)")
 		seed     = flag.Int64("seed", 1, "seed")
+		met      = obs.Flags()
 	)
 	flag.Parse()
+	defer prof.Start()()
 
+	var artifact *obs.Run
+	if met.Enabled() {
+		artifact = obs.NewRun("psmotifs")
+		artifact.Manifest.Seed = *seed
+	}
 	fmt.Printf("%-10s %-14s %-14s %-8s\n", "topology", "MIN (us)", "UGAL (us)", "speedup")
 	for _, name := range strings.Split(*specsArg, ",") {
 		name = strings.TrimSpace(name)
@@ -43,23 +52,46 @@ func main() {
 			p := flowsim.DefaultParams(*seed)
 			p.Adaptive = adaptive
 			net := flowsim.New(spec.MinEngine, spec.Config(), spec.Graph, spec.UGALMids, p)
+			var fr *obs.FlowRun
+			if artifact != nil {
+				routing := "MIN"
+				if adaptive {
+					routing = "UGAL"
+				}
+				fr = &obs.FlowRun{Topology: name, Motif: *motif, Routing: routing}
+				artifact.Flows = append(artifact.Flows, fr)
+				net.Observe(fr)
+			}
 			r := *ranks
 			if r > spec.Endpoints() {
 				r = spec.Endpoints()
 			}
-			switch *motif {
-			case "allreduce":
-				return motifs.Allreduce(net, r, *msgKB*1024, *iters)
-			case "sweep3d":
-				side := int(math.Sqrt(float64(r)))
-				return motifs.Sweep3D(net, side, side, *msgKB*1024, *compute, *iters)
+			var t float64
+			prof.Task(func() {
+				switch *motif {
+				case "allreduce":
+					t = motifs.Allreduce(net, r, *msgKB*1024, *iters)
+				case "sweep3d":
+					side := int(math.Sqrt(float64(r)))
+					t = motifs.Sweep3D(net, side, side, *msgKB*1024, *compute, *iters)
+				default:
+					fatal(fmt.Errorf("unknown motif %q", *motif))
+				}
+			}, "phase", *motif, "spec", name)
+			if fr != nil {
+				fr.CompletionUS = t / 1000
 			}
-			fatal(fmt.Errorf("unknown motif %q", *motif))
-			return 0
+			return t
 		}
 		min := run(false)
 		ugal := run(true)
 		fmt.Printf("%-10s %-14.1f %-14.1f %-8.2f\n", name, min/1000, ugal/1000, min/ugal)
+	}
+	if artifact != nil {
+		if err := met.Write(artifact); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote metrics %s\n", *met.Path)
 	}
 }
 

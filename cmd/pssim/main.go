@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"polarstar/internal/obs"
 	"polarstar/internal/plot"
 	"polarstar/internal/prof"
 	"polarstar/internal/sim"
@@ -30,6 +31,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		svgOut   = flag.String("svg", "", "also write the latency-load curve as an SVG file")
 		workers  = flag.Int("workers", 0, "engine shard workers per run (0: auto-split cores between load points and shards; results are identical for any value)")
+		met      = obs.Flags()
 	)
 	flag.Parse()
 	defer prof.Start()()
@@ -57,18 +59,40 @@ func main() {
 	}
 	params := sim.DefaultParams(*seed)
 	params.Workers = *workers
+	params.MetricsInterval = *met.Interval
 	if *cycles > 0 {
 		params.Warmup = *cycles / 2
 		params.Measure = *cycles
 		params.Drain = 3 * *cycles / 2
 	}
+	var run *obs.Run
+	var sm *obs.SimSweep
+	if met.Enabled() {
+		run = obs.NewRun("pssim")
+		run.Manifest.Spec = spec.Name
+		run.Manifest.Routing = mode.String()
+		run.Manifest.Pattern = *pattern
+		run.Manifest.Seed = *seed
+		run.Manifest.Workers = *workers
+		sm = obs.NewSimSweep(spec.Name, mode.String(), *pattern, len(loads))
+		run.Sim = sm
+	}
 	fmt.Printf("# %s: %d routers, %d endpoints\n", spec.Name, spec.Graph.N(), spec.Endpoints())
-	res, err := sim.Sweep(spec, mode, *pattern, loads, params)
+	var res sim.SweepResult
+	prof.Task(func() {
+		res, err = sim.SweepObs(spec, mode, *pattern, loads, params, sm)
+	}, "phase", "sweep", "spec", spec.Name)
 	if err != nil {
 		fatal(err)
 	}
 	sim.WriteSweep(os.Stdout, res)
 	fmt.Printf("# saturation load: %.3f\n", res.SaturationLoad())
+	if met.Enabled() {
+		if err := met.Write(run); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote metrics %s\n", *met.Path)
+	}
 
 	if *svgOut != "" {
 		chart := &plot.Chart{

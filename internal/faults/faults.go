@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"polarstar/internal/graph"
+	"polarstar/internal/obs"
 )
 
 // Point is one sampled failure fraction of a trial.
@@ -98,13 +99,14 @@ func (sw *sweeper) connected(h *graph.Graph, hosts Hosts) bool {
 }
 
 // stats computes diameter and average path length restricted to host
-// pairs of h, 64 BFS sources per bit-parallel traversal. Sums are
-// integers, so the results are bit-identical to the scalar
-// one-source-at-a-time measurement the sweep used before.
-func (sw *sweeper) stats(h *graph.Graph, hosts Hosts) (int32, float64, bool) {
+// pairs of h, 64 BFS sources per bit-parallel traversal, plus the number
+// of unreachable ordered host pairs. Sums are integers, so the results
+// are bit-identical to the scalar one-source-at-a-time measurement the
+// sweep used before.
+func (sw *sweeper) stats(h *graph.Graph, hosts Hosts) (int32, float64, bool, int64) {
 	if hosts == nil {
 		s := h.AllPairsStats()
-		return s.Diameter, s.AvgPath, s.Connected
+		return s.Diameter, s.AvgPath, s.Connected, int64(h.N())*int64(h.N()-1) - s.Pairs
 	}
 	if sw.inHosts == nil {
 		sw.inHosts = make([]bool, h.N())
@@ -134,16 +136,27 @@ func (sw *sweeper) stats(h *graph.Graph, hosts Hosts) (int32, float64, bool) {
 	}
 	// Every host reaches all len(hosts)−1 others iff the pair count is
 	// full — the same connectivity verdict the scalar scan produced.
-	connected := pairs == int64(len(hosts))*int64(len(hosts)-1)
+	full := int64(len(hosts)) * int64(len(hosts)-1)
 	avg := 0.0
 	if pairs > 0 {
 		avg = float64(sum) / float64(pairs)
 	}
-	return diam, avg, connected
+	return diam, avg, pairs == full, full - pairs
 }
 
 // runTrial is RunTrial on the sweeper's reusable state.
 func (sw *sweeper) runTrial(hosts Hosts, seed int64, fracs []float64) Trial {
+	return sw.runTrialObs(hosts, seed, fracs, nil, 0)
+}
+
+// runTrialObs is runTrial with telemetry: when mt is non-nil, the trial
+// additionally counts sampled points whose diameter exceeds intactDiam
+// (degraded points) and unreachable host pairs (lost pairs) — including
+// at fractions past the disconnection point, where the plain curve stops
+// measuring. The returned Trial is bit-identical with mt on or off: the
+// extra stats passes read the same scratch subgraphs and never touch the
+// trial RNG.
+func (sw *sweeper) runTrialObs(hosts Hosts, seed int64, fracs []float64, mt *obs.FaultTrial, intactDiam int32) Trial {
 	rng := rand.New(rand.NewSource(seed))
 	m := len(sw.order)
 	for i := range sw.order {
@@ -173,15 +186,40 @@ func (sw *sweeper) runTrial(hosts Hosts, seed int64, fracs []float64) Trial {
 	}
 	disconnectAt := lo
 	tr.DisconnectionRatio = float64(disconnectAt) / float64(m)
+	if mt != nil {
+		mt.Seed = seed
+		mt.DisconnectionRatio = tr.DisconnectionRatio
+	}
 
 	for _, f := range fracs {
 		k := int(f * float64(m))
 		if k >= disconnectAt {
 			tr.Curve = append(tr.Curve, Point{FailFrac: f, Connected: false})
+			if mt != nil {
+				mt.PointsDisconnected++
+				diam, _, _, lost := sw.stats(sw.subgraph(k), hosts)
+				mt.LostPairs.Add(lost)
+				if diam > intactDiam {
+					mt.DegradedPoints++
+				}
+				if diam > mt.MaxDiameter {
+					mt.MaxDiameter = diam
+				}
+			}
 			continue
 		}
-		diam, avg, ok := sw.stats(sw.subgraph(k), hosts)
+		diam, avg, ok, lost := sw.stats(sw.subgraph(k), hosts)
 		tr.Curve = append(tr.Curve, Point{FailFrac: f, Diameter: diam, AvgPath: avg, Connected: ok})
+		if mt != nil {
+			mt.PointsConnected++
+			mt.LostPairs.Add(lost)
+			if diam > intactDiam {
+				mt.DegradedPoints++
+			}
+			if diam > mt.MaxDiameter {
+				mt.MaxDiameter = diam
+			}
+		}
 	}
 	return tr
 }
@@ -198,10 +236,25 @@ func RunTrial(g *graph.Graph, hosts Hosts, seed int64, fracs []float64) Trial {
 // MedianTrial runs `trials` independent scenarios and returns the one
 // with the median disconnection ratio (the paper's reporting protocol).
 func MedianTrial(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) Trial {
+	return MedianTrialObs(g, hosts, trials, seed, fracs, nil)
+}
+
+// MedianTrialObs is MedianTrial with telemetry: when fm is non-nil it
+// records the intact diameter, one FaultTrial (seed + disconnection
+// ratio) per ranked scenario in scenario order, and the fully sampled
+// median trial's degraded-point and lost-pair counters. The returned
+// Trial is identical with fm on or off.
+func MedianTrialObs(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64, fm *obs.FaultSweep) Trial {
 	if trials < 1 {
 		trials = 1
 	}
 	sw := newSweeper(g)
+	var intactDiam int32
+	if fm != nil {
+		intactDiam, _, _, _ = sw.stats(g, hosts)
+		fm.IntactDiameter = intactDiam
+		fm.Trials = make([]obs.FaultTrial, 0, trials)
+	}
 	// Rank trials by disconnection ratio (cheap: bisection only), then
 	// compute the full curve for the median one.
 	type ranked struct {
@@ -213,10 +266,17 @@ func MedianTrial(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []fl
 		s := seed + int64(i)*6151
 		t := sw.runTrial(hosts, s, nil)
 		rs[i] = ranked{seed: s, ratio: t.DisconnectionRatio}
+		if fm != nil {
+			fm.Trials = append(fm.Trials, obs.FaultTrial{Seed: s, DisconnectionRatio: t.DisconnectionRatio})
+		}
 	}
 	sort.Slice(rs, func(i, j int) bool { return rs[i].ratio < rs[j].ratio })
 	med := rs[len(rs)/2]
-	return sw.runTrial(hosts, med.seed, fracs)
+	if fm == nil {
+		return sw.runTrial(hosts, med.seed, fracs)
+	}
+	fm.Median = &obs.FaultTrial{}
+	return sw.runTrialObs(hosts, med.seed, fracs, fm.Median, intactDiam)
 }
 
 // Bands aggregates many trials into quartile curves — an extension of

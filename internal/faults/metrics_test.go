@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"polarstar/internal/obs"
+	"polarstar/internal/sim"
+	"polarstar/internal/topo"
+)
+
+// TestMedianTrialObsDoesNotPerturb pins the non-interference contract on
+// the structural sweep: the returned Trial is identical with telemetry
+// on or off.
+func TestMedianTrialObsDoesNotPerturb(t *testing.T) {
+	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
+	fracs := []float64{0, 0.2, 0.4, 0.6}
+	plain := MedianTrial(ps.G, nil, 7, 11, fracs)
+	var fm obs.FaultSweep
+	observed := MedianTrialObs(ps.G, nil, 7, 11, fracs, &fm)
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("observed trial %+v differs from plain %+v", observed, plain)
+	}
+}
+
+// TestMedianTrialObsAccounting checks the sweep-level record: the intact
+// diameter, one ranked trial per scenario, and the median trial's point
+// and damage counters.
+func TestMedianTrialObsAccounting(t *testing.T) {
+	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
+	fracs := []float64{0, 0.2, 0.4, 0.6, 0.8}
+	const trials = 7
+	var fm obs.FaultSweep
+	tr := MedianTrialObs(ps.G, nil, trials, 11, fracs, &fm)
+	if fm.IntactDiameter != 3 {
+		t.Errorf("intact diameter %d, want 3 (PolarStar)", fm.IntactDiameter)
+	}
+	if len(fm.Trials) != trials {
+		t.Fatalf("recorded %d ranked trials, want %d", len(fm.Trials), trials)
+	}
+	found := false
+	for _, rt := range fm.Trials {
+		if rt.Seed == tr.Seed && rt.DisconnectionRatio == tr.DisconnectionRatio {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("median trial's seed not among the ranked trials")
+	}
+	m := fm.Median
+	if m == nil {
+		t.Fatal("median trial record missing")
+	}
+	if m.Seed != tr.Seed || m.DisconnectionRatio != tr.DisconnectionRatio {
+		t.Errorf("median record %+v inconsistent with trial seed=%d ratio=%f",
+			m, tr.Seed, tr.DisconnectionRatio)
+	}
+	if m.PointsConnected+m.PointsDisconnected != len(fracs) {
+		t.Errorf("point counts %d+%d != %d sampled fractions",
+			m.PointsConnected, m.PointsDisconnected, len(fracs))
+	}
+	// The curve's connectivity verdicts must match the counters.
+	conn := 0
+	for _, p := range tr.Curve {
+		if p.Connected {
+			conn++
+		}
+	}
+	if conn != m.PointsConnected {
+		t.Errorf("counter says %d connected points, curve has %d", m.PointsConnected, conn)
+	}
+	if m.PointsDisconnected > 0 && m.LostPairs.Value() == 0 {
+		t.Error("disconnected points sampled but no lost pairs recorded")
+	}
+	if m.MaxDiameter < fm.IntactDiameter {
+		t.Errorf("max diameter %d below intact %d", m.MaxDiameter, fm.IntactDiameter)
+	}
+	if m.DegradedPoints > len(fracs) {
+		t.Errorf("degraded points %d exceeds sampled points", m.DegradedPoints)
+	}
+}
+
+// TestTrafficSweepObs pins non-interference and the per-point SimRun
+// plumbing of the degraded-traffic sweep.
+func TestTrafficSweepObs(t *testing.T) {
+	spec := sim.MustNewSpec("ps-iq-small")
+	p := sim.DefaultParams(3)
+	p.Warmup, p.Measure, p.Drain = 100, 200, 300
+	p.Workers = 2
+	fracs := []float64{0, 0.15}
+	plain, err := TrafficSweep(spec, sim.MIN, "uniform", 0.2, fracs, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ft obs.FaultTraffic
+	observed, err := TrafficSweepObs(spec, sim.MIN, "uniform", 0.2, fracs, p, 5, &ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Error("observed traffic sweep differs from plain")
+	}
+	if ft.Spec != spec.Name || ft.Load != 0.2 || len(ft.Points) != len(fracs) {
+		t.Fatalf("sweep record %+v malformed", ft)
+	}
+	for i, pt := range ft.Points {
+		if pt.FailFrac != fracs[i] || pt.Removed != observed[i].Removed {
+			t.Errorf("point %d: structural echo %+v inconsistent with result %+v", i, pt, observed[i])
+		}
+		if pt.Sim == nil || pt.Sim.Delivered.Value() == 0 {
+			t.Errorf("point %d: no simulator metrics attached", i)
+		}
+		if pt.Sim.AvgLatency != observed[i].AvgLatency {
+			t.Errorf("point %d: echoed latency %f != result %f", i, pt.Sim.AvgLatency, observed[i].AvgLatency)
+		}
+		// Past the disconnection threshold, packets on unreachable pairs
+		// are recorded as lost.
+		if pt.Removed > 0 && observed[i].DeliveredFrac < 1 && pt.Sim.Lost.Value() == 0 &&
+			pt.Sim.Delivered.Value() == pt.Sim.Injected.Value() {
+			t.Errorf("point %d: degraded run shows no loss in metrics", i)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package faults
 import (
 	"math/rand"
 
+	"polarstar/internal/obs"
 	"polarstar/internal/sim"
 )
 
@@ -26,30 +27,49 @@ type TrafficPoint struct {
 // rising latency are the observable damage. fracs must be ascending.
 // The routing mode is MIN or UGAL over the degraded all-pairs table.
 func TrafficSweep(spec *sim.Spec, mode sim.RoutingMode, patternName string, load float64, fracs []float64, params sim.Params, seed int64) ([]TrafficPoint, error) {
+	return TrafficSweepObs(spec, mode, patternName, load, fracs, params, seed, nil)
+}
+
+// TrafficSweepObs is TrafficSweep with telemetry: when ft is non-nil,
+// each failure fraction's engine fills a fresh SimRun attached to the
+// corresponding FaultTrafficPoint, so the artifact carries the full
+// latency/stall/loss breakdown of every degraded topology. Results are
+// identical with ft on or off.
+func TrafficSweepObs(spec *sim.Spec, mode sim.RoutingMode, patternName string, load float64, fracs []float64, params sim.Params, seed int64, ft *obs.FaultTraffic) ([]TrafficPoint, error) {
 	edges := spec.Graph.Edges()
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
 
+	if ft != nil {
+		ft.Spec = spec.Name
+		ft.Load = load
+		ft.Points = make([]*obs.FaultTrafficPoint, 0, len(fracs))
+	}
 	points := make([]TrafficPoint, 0, len(fracs))
 	var slab []uint8
 	for _, f := range fracs {
 		k := int(f * float64(len(edges)))
 		deg := spec.DegradedInto(edges[:k], slab)
 		slab = deg.TableSlab()
-		pattern, err := deg.Pattern(patternName, params.Seed)
+		p := params
+		if ft != nil {
+			p.Metrics = &obs.SimRun{}
+			ft.Points = append(ft.Points, &obs.FaultTrafficPoint{FailFrac: f, Removed: k, Sim: p.Metrics})
+		}
+		pattern, err := deg.Pattern(patternName, p.Seed)
 		if err != nil {
 			return nil, err
 		}
 		var routing sim.Routing
 		switch mode {
 		case sim.UGALMode:
-			routing = deg.UGALRouting(params.PacketFlits)
+			routing = deg.UGALRouting(p.PacketFlits)
 		case sim.UGALGMode:
-			routing = deg.UGALGRouting(params.PacketFlits)
+			routing = deg.UGALGRouting(p.PacketFlits)
 		default:
 			routing = deg.MinRouting()
 		}
-		eng := sim.NewEngine(params, deg.Graph, deg.Config(), routing, pattern)
+		eng := sim.NewEngine(p, deg.Graph, deg.Config(), routing, pattern)
 		points = append(points, TrafficPoint{FailFrac: f, Removed: k, Result: eng.Run(load)})
 	}
 	return points, nil

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"polarstar/internal/graph"
+	"polarstar/internal/obs"
 	"polarstar/internal/route"
 	"polarstar/internal/traffic"
 )
@@ -54,6 +55,8 @@ type Network struct {
 
 	pathBuf []int // reusable buffer holding the chosen path
 	candBuf []int // reusable buffer for adaptive candidates
+
+	met *obs.FlowRun // optional telemetry sink (nil: off)
 }
 
 // New builds a network simulator over a routing engine. g is the router
@@ -78,6 +81,18 @@ func New(engine route.Engine, cfg traffic.Config, g *graph.Graph, mids []int, p 
 
 // Config returns the endpoint arrangement.
 func (n *Network) Config() traffic.Config { return n.cfg }
+
+// Observe attaches a telemetry sink: every subsequent Send updates the
+// message/byte counters, the hop histogram and the per-link busy-time
+// vector of m. The vector is sized here, once, so the per-Send record
+// path stays allocation-free; collection never touches the RNG or the
+// reservation state, so delivery times are identical with or without it.
+func (n *Network) Observe(m *obs.FlowRun) {
+	if m.LinkBusyNS.BusyNS == nil {
+		m.LinkBusyNS.BusyNS = make([]float64, n.g.NumChannels())
+	}
+	n.met = m
+}
 
 // score is the UGAL-L path metric: first-link availability plus
 // serialized hop latency (the flow-level analogue of queue depth).
@@ -141,8 +156,10 @@ func (n *Network) Send(srcEP, dstEP int, bytes float64, at float64) float64 {
 	head := start + n.p.HopLatNS
 
 	srcR, dstR := n.cfg.RouterOf(srcEP), n.cfg.RouterOf(dstEP)
+	hops := 0
 	if srcR != dstR {
 		path := n.pathFor(srcR, dstR)
+		hops = len(path) - 1
 		for i := 0; i+1 < len(path); i++ {
 			c := n.g.ChannelID(path[i], path[i+1])
 			s := head
@@ -151,6 +168,9 @@ func (n *Network) Send(srcEP, dstEP int, bytes float64, at float64) float64 {
 			}
 			n.linkFree[c] = s + ser
 			head = s + n.p.HopLatNS
+			if n.met != nil {
+				n.met.LinkBusyNS.Add(c, ser)
+			}
 		}
 	}
 	// Ejection link.
@@ -159,5 +179,18 @@ func (n *Network) Send(srcEP, dstEP int, bytes float64, at float64) float64 {
 		s = f
 	}
 	n.ejFree[dstEP] = s + ser
-	return s + n.p.HopLatNS + ser
+	done := s + n.p.HopLatNS + ser
+	if m := n.met; m != nil {
+		m.Messages.Inc()
+		m.Bytes += bytes
+		m.Hops.Observe(int64(hops))
+		m.InjBusyNS += ser
+		m.EjBusyNS += ser
+		if done > m.LastDeliveryNS {
+			m.LastDeliveryNS = done
+			// The utilization denominator tracks the makespan as it grows.
+			m.LinkBusyNS.SpanNS = done
+		}
+	}
+	return done
 }

@@ -1,0 +1,104 @@
+package flowsim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"polarstar/internal/obs"
+)
+
+// TestObserveDoesNotPerturbTiming pins the non-interference contract:
+// attaching a FlowRun changes no delivery time, for MIN and adaptive.
+func TestObserveDoesNotPerturbTiming(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		plain, _ := testNetwork(adaptive, 21)
+		observed, _ := testNetwork(adaptive, 21)
+		observed.Observe(&obs.FlowRun{})
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < 300; i++ {
+			src, dst := rng.Intn(100), rng.Intn(100)
+			ta := plain.Send(src, dst, 2048, float64(i)*10)
+			tb := observed.Send(src, dst, 2048, float64(i)*10)
+			if ta != tb {
+				t.Fatalf("adaptive=%v: delivery diverges at message %d: %f vs %f", adaptive, i, ta, tb)
+			}
+		}
+	}
+}
+
+// TestObserveAccounting checks the flow-level metric bookkeeping over a
+// burst of messages: message/byte totals, the hop histogram range, the
+// makespan, and the per-link utilization JSON.
+func TestObserveAccounting(t *testing.T) {
+	n, ps := testNetwork(false, 22)
+	var m obs.FlowRun
+	n.Observe(&m)
+	rng := rand.New(rand.NewSource(5))
+	const msgs = 400
+	var last float64
+	for i := 0; i < msgs; i++ {
+		src, dst := rng.Intn(100), rng.Intn(100)
+		if d := n.Send(src, dst, 1024, float64(i)); d > last {
+			last = d
+		}
+	}
+	if m.Messages.Value() != msgs {
+		t.Errorf("messages = %d, want %d", m.Messages.Value(), msgs)
+	}
+	if m.Bytes != msgs*1024 {
+		t.Errorf("bytes = %f, want %d", m.Bytes, msgs*1024)
+	}
+	if m.Hops.Count() != msgs {
+		t.Errorf("hop histogram has %d observations, want %d", m.Hops.Count(), msgs)
+	}
+	// PolarStar has diameter 3: no network path exceeds 3 router hops.
+	if m.Hops.Max() > 3 {
+		t.Errorf("hop max %d exceeds the diameter bound 3", m.Hops.Max())
+	}
+	if m.LastDeliveryNS != last {
+		t.Errorf("last delivery %f != observed makespan %f", m.LastDeliveryNS, last)
+	}
+	if m.LinkBusyNS.SpanNS != last {
+		t.Errorf("utilization span %f != makespan %f", m.LinkBusyNS.SpanNS, last)
+	}
+	if got, want := len(m.LinkBusyNS.BusyNS), ps.G.NumChannels(); got != want {
+		t.Errorf("busy vector sized %d, want %d channels", got, want)
+	}
+	data, err := json.Marshal(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree map[string]any
+	if err := json.Unmarshal(data, &tree); err != nil {
+		t.Fatal(err)
+	}
+	util, ok := tree["link_utilization"].(map[string]any)
+	if !ok {
+		t.Fatalf("link_utilization missing from %s", data)
+	}
+	if util["span_ns"].(float64) != last {
+		t.Errorf("JSON span %v != %f", util["span_ns"], last)
+	}
+}
+
+// TestObserveSendAllocFree extends the steady-state guarantee to the
+// observed path: telemetry storage is sized once in Observe, so Send
+// stays allocation-free with metrics on.
+func TestObserveSendAllocFree(t *testing.T) {
+	n, ps := testNetwork(true, 23)
+	n.Observe(&obs.FlowRun{})
+	rng := rand.New(rand.NewSource(7))
+	eps := 2 * ps.G.N()
+	for i := 0; i < 200; i++ {
+		n.Send(rng.Intn(eps), rng.Intn(eps), 1024, float64(i))
+	}
+	at := 200.0
+	allocs := testing.AllocsPerRun(500, func() {
+		n.Send(rng.Intn(eps), rng.Intn(eps), 1024, at)
+		at++
+	})
+	if allocs != 0 {
+		t.Errorf("observed Send allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable off unix; the timing block then reports
+// CPU time 0 (wall time is still recorded).
+func processCPUTime() time.Duration { return 0 }

@@ -1,0 +1,34 @@
+package obs
+
+import "flag"
+
+// FlagSet is the standard telemetry command-line surface, shared by
+// every instrumented CLI (pssim, psfig, psfaults, psmotifs).
+type FlagSet struct {
+	Path     *string // -metrics: artifact path ("" = disabled)
+	Interval *int    // -metrics-interval: cycles per interval sample (0 = off)
+	Timing   *bool   // -metrics-timing: include the volatile timing block
+}
+
+// Flags registers -metrics, -metrics-interval and -metrics-timing on the
+// default flag set. Call before flag.Parse.
+func Flags() *FlagSet {
+	return &FlagSet{
+		Path:     flag.String("metrics", "", "write a run-metrics artifact to this file (.json or .csv)"),
+		Interval: flag.Int("metrics-interval", 0, "record an interval metrics sample every N simulated cycles (0: off)"),
+		Timing:   flag.Bool("metrics-timing", true, "include wall/CPU time in the metrics artifact (disable for byte-identical artifacts across runs)"),
+	}
+}
+
+// Enabled reports whether an artifact was requested.
+func (f *FlagSet) Enabled() bool { return *f.Path != "" }
+
+// Write captures the parsed args into the run's manifest and writes the
+// artifact to the -metrics path. No-op when -metrics was not given.
+func (f *FlagSet) Write(r *Run) error {
+	if !f.Enabled() {
+		return nil
+	}
+	r.CaptureArgs()
+	return r.Write(*f.Path, *f.Timing)
+}

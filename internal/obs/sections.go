@@ -1,0 +1,187 @@
+package obs
+
+// This file defines the typed payload sections the instrumented layers
+// fill in: internal/sim (SimRun/SimSweep), internal/flowsim (FlowRun) and
+// internal/faults (FaultSweep/FaultTraffic). obs deliberately depends on
+// none of them — the simulators import obs, never the reverse — so the
+// sections hold only scalar aggregates and the metric primitives above.
+
+// IntervalRow is one `-metrics-interval` sample of a simulation run:
+// cumulative counters at the end of the given cycle. Rows are recorded in
+// the serial commit phase, so they are identical for any worker count.
+type IntervalRow struct {
+	Cycle     int64 `json:"cycle"`
+	Generated int64 `json:"generated"`
+	Injected  int64 `json:"injected"`
+	Delivered int64 `json:"delivered"`
+	Stalled   int64 `json:"stalled"`
+}
+
+// SimRun is the metric set of one cycle-simulator run (one offered-load
+// point). The engine sizes the slices in NewEngine and fills everything
+// by merging per-shard accumulators in fixed shard order at the end of
+// Run; callers pass a zero SimRun via sim.Params.Metrics.
+type SimRun struct {
+	Load float64 `json:"load"`
+
+	// Packet counters over the whole run (warmup+measure+drain).
+	Generated Counter `json:"generated"` // packets produced by the traffic pattern
+	Injected  Counter `json:"injected"`  // packets routed and enqueued at their source
+	Lost      Counter `json:"lost"`      // unroutable or over-budget paths (degraded topologies)
+	Delivered Counter `json:"delivered"` // packets ejected at their destination
+
+	// Arbitration stall counters: failed forward attempts by cause.
+	StallInject  Counter `json:"stall_inject"`   // source endpoint still serializing a previous packet
+	StallEject   Counter `json:"stall_eject"`    // destination ejection channel busy
+	StallChannel Counter `json:"stall_channel"`  // output channel busy this cycle
+	StallCredit  Counter `json:"stall_credit"`   // no eligible VC with downstream credits
+	CreditStallVC []int64 `json:"credit_stall_per_vc"` // credit stalls keyed by the packet's lowest eligible VC
+
+	// Latency is the end-to-end latency histogram (cycles) of measured
+	// delivered packets; p50/p95/p99 come out in its JSON form.
+	Latency Histogram `json:"latency_cycles"`
+
+	// OccHWM is the peak queued+reserved flits per directed channel.
+	OccHWM ChannelHWM `json:"channel_occupancy_hwm"`
+
+	// Results echoed from sim.Result so the artifact stands alone.
+	AvgLatency    float64 `json:"avg_latency"`
+	Throughput    float64 `json:"throughput"`
+	DeliveredFrac float64 `json:"delivered_frac"`
+	Saturated     bool    `json:"saturated"`
+
+	// Interval series ([]IntervalRow presized by the engine; empty when
+	// -metrics-interval is 0).
+	Interval int           `json:"interval,omitempty"`
+	Series   []IntervalRow `json:"series,omitempty"`
+}
+
+// SimSweep is one latency-load sweep: a SimRun per offered-load point,
+// in load order.
+type SimSweep struct {
+	Spec    string    `json:"spec"`
+	Routing string    `json:"routing"`
+	Pattern string    `json:"pattern"`
+	Points  []*SimRun `json:"points"`
+}
+
+// NewSimSweep returns a sweep with one zero SimRun per load point, ready
+// to hand to sim.SweepObs.
+func NewSimSweep(spec, routing, pattern string, loads int) *SimSweep {
+	s := &SimSweep{Spec: spec, Routing: routing, Pattern: pattern, Points: make([]*SimRun, loads)}
+	for i := range s.Points {
+		s.Points[i] = &SimRun{}
+	}
+	return s
+}
+
+// FlowRun is the metric set of one flow-level (flowsim) run. The network
+// sizes LinkBusyNS once in Observe; Send updates are plain array adds.
+type FlowRun struct {
+	Topology string `json:"topology,omitempty"`
+	Motif    string `json:"motif,omitempty"`
+	Routing  string `json:"routing,omitempty"`
+
+	Messages Counter  `json:"messages"`
+	Bytes    float64  `json:"bytes"`
+	Hops     Histogram `json:"hops"`
+	LastDeliveryNS float64 `json:"last_delivery_ns"`
+	CompletionUS   float64 `json:"completion_us,omitempty"`
+
+	// LinkBusyNS accumulates serialization time per directed channel; its
+	// JSON form is the per-link utilization histogram (busy / makespan).
+	LinkBusyNS UtilVector `json:"link_utilization"`
+	InjBusyNS  float64    `json:"inj_busy_ns"`
+	EjBusyNS   float64    `json:"ej_busy_ns"`
+}
+
+// UtilVector is a per-link busy-time vector whose JSON form is a
+// utilization histogram: each link's busy share of the owner FlowRun's
+// makespan, bucketed into 5% bins. The span is set by Finish.
+type UtilVector struct {
+	BusyNS []float64 `json:"-"`
+	SpanNS float64   `json:"-"`
+}
+
+// Add accumulates busy nanoseconds on channel c.
+func (u *UtilVector) Add(c int, ns float64) { u.BusyNS[c] += ns }
+
+// MarshalJSON renders {"span_ns":…,"max":…,"mean":…,"bins":[20 counts]}
+// where bins[i] counts links with utilization in [i/20, (i+1)/20).
+func (u UtilVector) MarshalJSON() ([]byte, error) {
+	var bins [20]int
+	var max, sum float64
+	if u.SpanNS > 0 {
+		for _, busy := range u.BusyNS {
+			util := busy / u.SpanNS
+			if util > max {
+				max = util
+			}
+			sum += util
+			i := int(util * 20)
+			if i >= len(bins) {
+				i = len(bins) - 1
+			}
+			if i < 0 {
+				i = 0
+			}
+			bins[i]++
+		}
+	}
+	mean := 0.0
+	if len(u.BusyNS) > 0 {
+		mean = sum / float64(len(u.BusyNS))
+	}
+	out := struct {
+		SpanNS float64 `json:"span_ns"`
+		Links  int     `json:"links"`
+		Max    float64 `json:"max"`
+		Mean   float64 `json:"mean"`
+		Bins   [20]int `json:"bins"`
+	}{u.SpanNS, len(u.BusyNS), max, mean, bins}
+	return marshalJSON(out)
+}
+
+// FaultTrial is the per-trial record of a structural fault sweep.
+type FaultTrial struct {
+	Seed               int64   `json:"seed"`
+	DisconnectionRatio float64 `json:"disconnection_ratio"`
+	PointsConnected    int     `json:"points_connected,omitempty"`
+	PointsDisconnected int     `json:"points_disconnected,omitempty"`
+	DegradedPoints     int     `json:"degraded_points,omitempty"` // sampled points with diameter above the intact graph
+	MaxDiameter        int32   `json:"max_diameter,omitempty"`
+	LostPairs          Counter `json:"lost_pairs,omitempty"` // unreachable host pairs summed over sampled points
+}
+
+// FaultSweep is the metric set of a §11.2 structural fault experiment:
+// one FaultTrial per scenario (ranking pass) plus the fully sampled
+// median trial.
+type FaultSweep struct {
+	Spec           string       `json:"spec,omitempty"`
+	IntactDiameter int32        `json:"intact_diameter"`
+	Trials         []FaultTrial `json:"trials,omitempty"`
+	Median         *FaultTrial  `json:"median,omitempty"`
+}
+
+// FaultTrafficPoint is one failure fraction of a degraded-traffic sweep:
+// the structural damage plus the full simulator metrics at that point.
+type FaultTrafficPoint struct {
+	FailFrac float64 `json:"fail_frac"`
+	Removed  int     `json:"removed"`
+	Sim      *SimRun `json:"sim"`
+}
+
+// FaultTraffic is the metric set of a faults.TrafficSweep run.
+type FaultTraffic struct {
+	Spec   string               `json:"spec,omitempty"`
+	Load   float64              `json:"load"`
+	Points []*FaultTrafficPoint `json:"points"`
+}
+
+// Figure is one figure of a psfig run; sim/fault figures attach their
+// sweep metrics.
+type Figure struct {
+	Name   string      `json:"name"`
+	Sims   []*SimSweep `json:"sims,omitempty"`
+	Faults []*FaultSweep `json:"faults,omitempty"`
+}

@@ -4,6 +4,7 @@
 package prof
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,4 +52,13 @@ func Start() func() {
 			}
 		}
 	}
+}
+
+// Task runs fn under pprof labels (alternating key, value pairs), so CPU
+// samples taken inside it are attributable per experiment phase with
+// `go tool pprof -tagfocus`. Label one phase — a figure, a sweep, a
+// fault ladder — not individual packets: the label set is copied per
+// call.
+func Task(fn func(), labels ...string) {
+	pprof.Do(context.Background(), pprof.Labels(labels...), func(context.Context) { fn() })
 }

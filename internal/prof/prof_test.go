@@ -1,0 +1,58 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTaskRunsFunction checks that Task executes its function exactly
+// once, with and without labels, including nested phases (pprof label
+// sets compose across nested Do calls).
+func TestTaskRunsFunction(t *testing.T) {
+	calls := 0
+	Task(func() { calls++ }, "phase", "sweep", "spec", "ps-iq-small")
+	Task(func() { calls++ })
+	Task(func() {
+		Task(func() { calls++ }, "phase", "inner")
+	}, "phase", "outer")
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}
+
+// TestStartNoFlagsIsNoop: with neither -cpuprofile nor -memprofile set,
+// Start and its stop function must do nothing and not fail.
+func TestStartNoFlagsIsNoop(t *testing.T) {
+	stop := Start()
+	stop()
+}
+
+// TestStartWritesProfiles drives the flag-configured path end to end:
+// profiles land in the named files and are non-empty.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	*cpuOut, *memOut = cpu, mem
+	defer func() { *cpuOut, *memOut = "", "" }()
+	stop := Start()
+	// Burn a little CPU under a labeled task so the profile has samples.
+	x := 0
+	Task(func() {
+		for i := 0; i < 1e6; i++ {
+			x += i * i
+		}
+	}, "phase", "test-burn")
+	_ = x
+	stop()
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}

@@ -2,15 +2,23 @@ package sim
 
 import (
 	"testing"
+
+	"polarstar/internal/obs"
 )
 
 // steadyStateAllocs drives one engine to its steady state, then measures
-// heap allocations per simulated cycle.
-func steadyStateAllocs(t *testing.T, specName string, routing func(*Spec) Routing, load float64) float64 {
+// heap allocations per simulated cycle. With metrics on, the telemetry
+// layer (counters, histograms, occupancy marks, interval series) is part
+// of the measured cycle.
+func steadyStateAllocs(t *testing.T, specName string, routing func(*Spec) Routing, load float64, metrics bool) float64 {
 	t.Helper()
 	spec := MustNewSpec(specName)
 	p := DefaultParams(1)
 	p.Warmup, p.Measure, p.Drain = 100000, 100000, 0 // keep generation alive throughout
+	if metrics {
+		p.Metrics = &obs.SimRun{}
+		p.MetricsInterval = 100
+	}
 	pattern, err := spec.Pattern("uniform", p.Seed)
 	if err != nil {
 		t.Fatal(err)
@@ -31,18 +39,23 @@ func steadyStateAllocs(t *testing.T, specName string, routing func(*Spec) Routin
 // TestSteadyStateCycleZeroAllocs is the simulator hot-loop regression
 // guard: once warmed up, a simulation cycle — packet generation, routing,
 // VC allocation, forwarding, delivery — performs zero heap allocations,
-// for both the analytic-minimal and the adaptive UGAL configurations.
+// for both the analytic-minimal and the adaptive UGAL configurations,
+// with telemetry off and on (the obs layer sizes all its storage at
+// engine construction, so observing a run must stay free).
 func TestSteadyStateCycleZeroAllocs(t *testing.T) {
 	cases := []struct {
 		name    string
 		routing func(*Spec) Routing
+		metrics bool
 	}{
-		{"min", func(s *Spec) Routing { return s.MinRouting() }},
-		{"ugal", func(s *Spec) Routing { return s.UGALRouting(4) }},
+		{"min", func(s *Spec) Routing { return s.MinRouting() }, false},
+		{"ugal", func(s *Spec) Routing { return s.UGALRouting(4) }, false},
+		{"min-metrics", func(s *Spec) Routing { return s.MinRouting() }, true},
+		{"ugal-metrics", func(s *Spec) Routing { return s.UGALRouting(4) }, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if allocs := steadyStateAllocs(t, "ps-iq-small", c.routing, 0.3); allocs != 0 {
+			if allocs := steadyStateAllocs(t, "ps-iq-small", c.routing, 0.3, c.metrics); allocs != 0 {
 				t.Errorf("steady-state cycle allocates %.2f objects, want 0", allocs)
 			}
 		})

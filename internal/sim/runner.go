@@ -5,6 +5,8 @@ import (
 	"io"
 	"runtime"
 	"sync"
+
+	"polarstar/internal/obs"
 )
 
 // RoutingMode selects MIN or UGAL for a sweep.
@@ -60,6 +62,15 @@ func (s SweepResult) SaturationLoad() float64 {
 // failure cancels the remaining load points and is returned once every
 // in-flight run has stopped.
 func Sweep(spec *Spec, mode RoutingMode, patternName string, loads []float64, params Params) (SweepResult, error) {
+	return SweepObs(spec, mode, patternName, loads, params, nil)
+}
+
+// SweepObs is Sweep with telemetry: when sm is non-nil, each load point's
+// engine fills sm.Points[i] (sm must come from obs.NewSimSweep with one
+// point per load). Points are written by the worker that owns the load
+// index, so collection adds no synchronization; the resulting artifact is
+// identical for any worker split.
+func SweepObs(spec *Spec, mode RoutingMode, patternName string, loads []float64, params Params, sm *obs.SimSweep) (SweepResult, error) {
 	res := SweepResult{Spec: spec.Name, Routing: mode, Pattern: patternName, Points: make([]Result, len(loads))}
 	outer := runtime.GOMAXPROCS(0)
 	if outer > len(loads) {
@@ -106,6 +117,9 @@ func Sweep(spec *Spec, mode RoutingMode, patternName string, loads []float64, pa
 			for i := range next {
 				p := params
 				p.Seed = params.Seed + int64(i)*7919
+				if sm != nil {
+					p.Metrics = sm.Points[i]
+				}
 				pattern, err := spec.Pattern(patternName, p.Seed)
 				if err != nil {
 					fail(err)

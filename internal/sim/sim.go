@@ -28,6 +28,7 @@ import (
 	"math/rand"
 
 	"polarstar/internal/graph"
+	"polarstar/internal/obs"
 	"polarstar/internal/traffic"
 )
 
@@ -54,6 +55,20 @@ type Params struct {
 	// arbitration phases (<=1: serial, the reference path; capped at the
 	// shard count). Results are bit-identical for any value.
 	Workers int
+
+	// Metrics, when non-nil, is filled with the run's telemetry: packet
+	// and stall counters, the measured-latency histogram and per-channel
+	// occupancy high-water marks. The engine sizes its slices in
+	// NewEngine and merges per-shard accumulators in fixed shard order at
+	// the end of Run. Collection never touches the RNG streams or any
+	// simulation state, so Results are bit-identical with metrics on or
+	// off, and the steady-state cycle stays allocation-free (both pinned
+	// by tests).
+	Metrics *obs.SimRun
+	// MetricsInterval, when positive, additionally records cumulative
+	// counters into Metrics.Series every MetricsInterval cycles (sampled
+	// in the serial commit phase, so rows are worker-count independent).
+	MetricsInterval int
 }
 
 // DefaultParams mirrors the §9.4 configuration.
@@ -207,6 +222,14 @@ type Engine struct {
 	backlogMeasEnd int   // injection-queue backlog when measurement ended
 	generatedMeas  int64
 
+	// Telemetry (nil/0 when the run is unobserved). occHWM aliases
+	// met.OccHWM; each channel's mark is written only by the channel's
+	// source-router shard during arbitration, so collection is race-free
+	// by the same ownership argument as the occupancy arrays.
+	met         *obs.SimRun
+	metInterval int64
+	occHWM      obs.ChannelHWM
+
 	pool workerPool
 }
 
@@ -232,6 +255,28 @@ type shardState struct {
 	latencySumMeas int64
 	latencyMax     int64
 	injectedFlits  int64
+
+	// Telemetry accumulators (nil when the run is unobserved).
+	met *shardMetrics
+}
+
+// shardMetrics is the per-shard telemetry slice: counters and a latency
+// histogram owned by one shard during the parallel phases, merged into
+// the run's obs.SimRun in fixed shard order at the end. All storage is
+// sized at engine construction, so recording allocates nothing.
+type shardMetrics struct {
+	injected    int64 // packets routed and enqueued at their source
+	lost        int64 // unroutable or over-budget paths
+	stallInj    int64
+	stallEject  int64
+	stallBusy   int64
+	stallCredit int64
+	creditVC    []int64 // credit stalls keyed by the packet's lowest eligible VC
+	lat         obs.Histogram
+}
+
+func (m *shardMetrics) stalls() int64 {
+	return m.stallInj + m.stallEject + m.stallBusy + m.stallCredit
 }
 
 // NewEngine builds a simulator for graph g with the endpoint arrangement
@@ -307,8 +352,32 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 		sh.occFn = e.Occupancy
 		e.shards[s] = sh
 	}
+	if params.Metrics != nil {
+		e.initMetrics(params)
+	}
 	e.pool.start(e)
 	return e
+}
+
+// initMetrics sizes the telemetry storage once, before the first cycle:
+// the per-channel occupancy marks, the per-shard counters and latency
+// histograms, and the interval series at its exact final capacity. After
+// this, every record on the hot path is a plain array update.
+func (e *Engine) initMetrics(params Params) {
+	m := params.Metrics
+	e.met = m
+	m.CreditStallVC = make([]int64, e.vcs)
+	m.OccHWM = make(obs.ChannelHWM, e.g.NumChannels())
+	e.occHWM = m.OccHWM
+	for _, sh := range e.shards {
+		sh.met = &shardMetrics{creditVC: make([]int64, e.vcs)}
+	}
+	if params.MetricsInterval > 0 {
+		e.metInterval = int64(params.MetricsInterval)
+		m.Interval = params.MetricsInterval
+		total := params.Warmup + params.Measure + params.Drain
+		m.Series = make([]obs.IntervalRow, 0, total/params.MetricsInterval+2)
+	}
 }
 
 // Occupancy implements OccFn over all VCs of channel u→v. During the
@@ -408,6 +477,24 @@ func (e *Engine) commit(t int64) {
 			e.backlogMeasEnd += e.queues[i].len()
 		}
 	}
+	if e.metInterval > 0 && (t+1)%e.metInterval == 0 {
+		e.sampleInterval(t + 1)
+	}
+}
+
+// sampleInterval appends one cumulative-counter row to the interval
+// series. It runs in the serial commit phase — after every shard's
+// arbitration — so the sums it reads are the committed end-of-cycle state
+// and identical for any worker count. The series slice was presized in
+// initMetrics; the append never reallocates.
+func (e *Engine) sampleInterval(cycle int64) {
+	row := obs.IntervalRow{Cycle: cycle, Generated: e.pktCtr}
+	for _, sh := range e.shards {
+		row.Delivered += sh.deliveredAll
+		row.Injected += sh.met.injected
+		row.Stalled += sh.met.stalls()
+	}
+	e.met.Series = append(e.met.Series, row)
 }
 
 // heapPush/heapPop implement a binary min-heap over packed
@@ -528,6 +615,9 @@ func (e *Engine) routeShard(sh *shardState) {
 				// a path longer than the VC ladder is undeliverable
 				// deadlock-free): the packet is lost. It still counted
 				// as generated, so DeliveredFrac reflects the loss.
+				if sh.met != nil {
+					sh.met.lost++
+				}
 				continue
 			}
 			for i := 0; i+1 < len(path); i++ {
@@ -542,6 +632,9 @@ func (e *Engine) routeShard(sh *shardState) {
 		unit := int32(e.injBase + int(pi.ep))
 		e.queues[unit].push(pkt)
 		e.markActive(unit, sh)
+		if sh.met != nil {
+			sh.met.injected++
+		}
 	}
 	sh.pending = sh.pending[:0]
 }
@@ -615,6 +708,9 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 	if int(unit) >= e.injBase {
 		ep := int(unit) - e.injBase
 		if e.injBusy[ep] > e.now {
+			if sh.met != nil {
+				sh.met.stallInj++
+			}
 			return
 		}
 	}
@@ -622,6 +718,9 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 		// Ejection to the destination endpoint.
 		ep := pkt.dstEP
 		if e.ejBusy[ep] > e.now {
+			if sh.met != nil {
+				sh.met.stallEject++
+			}
 			return
 		}
 		e.ejBusy[ep] = e.now + S
@@ -632,6 +731,9 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 	}
 	c := pkt.chans[pkt.hop]
 	if e.busy[c] > e.now {
+		if sh.met != nil {
+			sh.met.stallBusy++
+		}
 		return
 	}
 	// VC allocation: each hop must use a VC strictly greater than the
@@ -659,11 +761,18 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 		}
 	}
 	if slotIdx < 0 {
+		if sh.met != nil {
+			sh.met.stallCredit++
+			sh.met.creditVC[minVC]++
+		}
 		return // no credits downstream on any eligible VC
 	}
 	// Grant.
 	e.occ[slotIdx] += int32(S)
 	e.occSum[c] += int32(S)
+	if e.occHWM != nil {
+		e.occHWM.Observe(int(c), e.occSum[c])
+	}
 	e.busy[c] = e.now + S
 	if int(unit) >= e.injBase {
 		e.injBusy[int(unit)-e.injBase] = e.now + S
@@ -698,6 +807,9 @@ func (sh *shardState) deliver(pkt *packet, at int64, flits int) {
 			sh.latencyMax = lat
 		}
 		sh.injectedFlits += int64(flits)
+		if sh.met != nil {
+			sh.met.lat.Observe(lat)
+		}
 	}
 }
 
@@ -741,5 +853,37 @@ func (e *Engine) result(load float64) Result {
 	// ended — offered load exceeding accepted load. (A backlog of a
 	// couple of packets is ordinary pre-saturation queueing.)
 	res.Saturated = res.DeliveredFrac < 0.99 || res.BacklogAtMeasEnd > 3*e.cfg.Endpoints()
+	if e.met != nil {
+		e.finishMetrics(res)
+	}
 	return res
+}
+
+// finishMetrics merges the per-shard telemetry accumulators into the
+// run's obs.SimRun in fixed shard order (all sums are integers, so the
+// order is immaterial — it is fixed anyway, matching the discipline of
+// every other aggregation in this package) and echoes the Result fields
+// so the artifact stands alone.
+func (e *Engine) finishMetrics(res Result) {
+	m := e.met
+	m.Load = res.Load
+	m.Generated.Add(e.pktCtr)
+	for _, sh := range e.shards {
+		sm := sh.met
+		m.Injected.Add(sm.injected)
+		m.Lost.Add(sm.lost)
+		m.Delivered.Add(sh.deliveredAll)
+		m.StallInject.Add(sm.stallInj)
+		m.StallEject.Add(sm.stallEject)
+		m.StallChannel.Add(sm.stallBusy)
+		m.StallCredit.Add(sm.stallCredit)
+		for vc, n := range sm.creditVC {
+			m.CreditStallVC[vc] += n
+		}
+		m.Latency.Merge(&sm.lat)
+	}
+	m.AvgLatency = res.AvgLatency
+	m.Throughput = res.Throughput
+	m.DeliveredFrac = res.DeliveredFrac
+	m.Saturated = res.Saturated
 }

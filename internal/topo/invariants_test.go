@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"testing"
+)
+
+// This file is the closed-form invariant sweep of the construction layer:
+// instead of checking single configurations (the pointwise tests in
+// er_test.go / supernode_test.go / starproduct_test.go), it sweeps every
+// small feasible parameter and asserts the paper's counting formulas and
+// factor-graph properties hold at each, printing the violating
+// (parameter, vertex) pair on failure via the Property*Witness variants.
+
+// erSweepQ covers every prime power the exhaustive checks stay fast for.
+var erSweepQ = []int{2, 3, 4, 5, 7, 8, 9, 11, 13}
+
+// TestERClosedFormSweep pins the §6.1 counting facts of ER_q for every
+// swept q: order q²+q+1, exactly q+1 quadric self-loops (Property R's
+// loop budget), edge count q(q+1)²/2, and Property R at diameter 2.
+func TestERClosedFormSweep(t *testing.T) {
+	for _, q := range erSweepQ {
+		er, err := NewER(q)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if got, want := er.N(), q*q+q+1; got != want {
+			t.Errorf("q=%d: order %d, want q²+q+1 = %d", q, got, want)
+		}
+		if got, want := er.G.NumLoops(), q+1; got != want {
+			t.Errorf("q=%d: %d quadric loops, want q+1 = %d", q, got, want)
+		}
+		loops := 0
+		for v := 0; v < er.N(); v++ {
+			if er.IsQuadric(v) {
+				loops++
+			}
+		}
+		if loops != q+1 {
+			t.Errorf("q=%d: IsQuadric marks %d vertices, want %d", q, loops, q+1)
+		}
+		if got, want := er.G.M(), q*(q+1)*(q+1)/2; got != want {
+			t.Errorf("q=%d: %d edges, want q(q+1)²/2 = %d", q, got, want)
+		}
+		if src, dst, ok := PropertyRWitness(er.G, 2); !ok {
+			t.Errorf("q=%d: Property R violated: no exact-2 walk from %d to %d", q, src, dst)
+		}
+	}
+}
+
+// TestSupernodePropertySweep sweeps every small feasible supernode degree
+// and asserts the Table 2 order formulas plus the defining property —
+// R* for Inductive-Quad (Def. via involution), R1 for Paley — printing
+// the violating (degree, vertex pair) on failure.
+func TestSupernodePropertySweep(t *testing.T) {
+	for _, d := range []int{3, 4, 7, 8, 11, 12} {
+		if !IQFeasible(d) {
+			t.Fatalf("IQ d'=%d unexpectedly infeasible (d' ≡ 0,3 mod 4 expected)", d)
+		}
+		s, err := NewIQ(d)
+		if err != nil {
+			t.Fatalf("IQ d'=%d: %v", d, err)
+		}
+		if got, want := s.N(), 2*d+2; got != want {
+			t.Errorf("IQ d'=%d: order %d, want 2d'+2 = %d", d, got, want)
+		}
+		if x, y, ok := PropertyRStarWitness(s.G, s.F); !ok {
+			t.Errorf("IQ d'=%d: Property R* violated at pair (%d, %d)", d, x, y)
+		}
+	}
+	for _, d := range []int{2, 4, 6, 8, 12} {
+		if !PaleyFeasible(d) {
+			t.Fatalf("Paley d'=%d unexpectedly infeasible (2d'+1 prime power ≡ 1 mod 4 expected)", d)
+		}
+		s, err := NewPaleySupernode(d)
+		if err != nil {
+			t.Fatalf("Paley d'=%d: %v", d, err)
+		}
+		if got, want := s.N(), 2*d+1; got != want {
+			t.Errorf("Paley d'=%d: order %d, want 2d'+1 = %d", d, got, want)
+		}
+		if x, y, ok := PropertyR1Witness(s.G, s.F); !ok {
+			t.Errorf("Paley d'=%d: Property R1 violated at pair (%d, %d)", d, x, y)
+		}
+	}
+}
+
+// TestPropertyWitnessDetectsCorruption checks the witness machinery from
+// the other side: corrupting the bijection must produce a failure with an
+// in-range counterexample pair.
+func TestPropertyWitnessDetectsCorruption(t *testing.T) {
+	iq := MustNewSupernode(t, KindIQ, 4)
+	bad := append([]int(nil), iq.F...)
+	bad[0], bad[1] = bad[1], bad[0] // no longer the IQ involution
+	if x, y, ok := PropertyRStarWitness(iq.G, bad); ok {
+		t.Error("corrupted involution passed Property R*")
+	} else if x < 0 || x >= iq.N() || y < -1 || y >= iq.N() {
+		t.Errorf("witness pair (%d, %d) out of range", x, y)
+	}
+
+	pal := MustNewSupernode(t, KindPaley, 4)
+	bad = append([]int(nil), pal.F...)
+	bad[0] = bad[1] // not a bijection
+	if x, y, ok := PropertyR1Witness(pal.G, bad); ok {
+		t.Error("non-bijection passed Property R1")
+	} else if x < 0 || x >= pal.N() {
+		t.Errorf("witness pair (%d, %d) out of range", x, y)
+	}
+}
+
+// MustNewSupernode builds a supernode or fails the test.
+func MustNewSupernode(t *testing.T, kind SupernodeKind, degree int) *Supernode {
+	t.Helper()
+	s, err := NewSupernode(kind, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// starSweep lists the small feasible PolarStar parameter combinations the
+// product sweep builds exhaustively.
+var starSweep = []struct {
+	q, dPrime int
+	kind      SupernodeKind
+}{
+	{2, 3, KindIQ}, {3, 3, KindIQ}, {3, 4, KindIQ}, {4, 3, KindIQ}, {5, 4, KindIQ},
+	{2, 2, KindPaley}, {3, 4, KindPaley}, {4, 4, KindPaley}, {5, 6, KindPaley},
+}
+
+// TestStarProductClosedFormSweep asserts the Def 4.2 / Thm 4–5 structure
+// of every swept PolarStar: order (q²+q+1)·N', radix (q+1)+d', diameter
+// at most 3, and the exact edge count
+//
+//	m = N_G·m' + m_G·N' + (q+1)·(N'−fix(f))/2
+//
+// (intra-supernode copies, inter-supernode bijective matchings, and the
+// loop-induced edges on the q+1 quadric supernodes, where fix(f) counts
+// the fixed points of the bijection).
+func TestStarProductClosedFormSweep(t *testing.T) {
+	for _, c := range starSweep {
+		ps, err := NewPolarStar(c.q, c.dPrime, c.kind)
+		if err != nil {
+			t.Fatalf("(q=%d, d'=%d, %v): %v", c.q, c.dPrime, c.kind, err)
+		}
+		er, super := ps.Structure, ps.Super
+		if got, want := ps.G.N(), er.N()*super.N(); got != want {
+			t.Errorf("(q=%d, d'=%d, %v): order %d, want %d", c.q, c.dPrime, c.kind, got, want)
+		}
+		if got, want := ps.G.N(), PolarStarOrder(c.q, c.dPrime, c.kind); got != want {
+			t.Errorf("(q=%d, d'=%d, %v): order %d disagrees with PolarStarOrder %d",
+				c.q, c.dPrime, c.kind, got, want)
+		}
+		if got := ps.G.MaxDegree(); got > ps.Radix() {
+			t.Errorf("(q=%d, d'=%d, %v): max degree %d exceeds radix %d",
+				c.q, c.dPrime, c.kind, got, ps.Radix())
+		}
+		if diam := ps.G.Diameter(); diam > 3 || diam < 1 {
+			t.Errorf("(q=%d, d'=%d, %v): diameter %d, want ≤ 3 (Thm 4/5)",
+				c.q, c.dPrime, c.kind, diam)
+		}
+		fix := 0
+		for x, y := range super.F {
+			if x == y {
+				fix++
+			}
+		}
+		want := er.N()*super.G.M() + er.G.M()*super.N() + (c.q+1)*(super.N()-fix)/2
+		if got := ps.G.M(); got != want {
+			t.Errorf("(q=%d, d'=%d, %v): %d edges, want closed form %d (fix(f)=%d)",
+				c.q, c.dPrime, c.kind, got, want, fix)
+		}
+	}
+}

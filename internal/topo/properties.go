@@ -14,6 +14,14 @@ import (
 // by a walk of length exactly D, where self-loop annotations may be used
 // as walk steps (§5.1.1). It returns the diameter it verified against.
 func HasPropertyR(g *graph.Graph, D int) bool {
+	_, _, ok := PropertyRWitness(g, D)
+	return ok
+}
+
+// PropertyRWitness is HasPropertyR with a counterexample: on failure it
+// returns the first (src, dst) pair joined by no walk of length exactly
+// D. On success src and dst are -1.
+func PropertyRWitness(g *graph.Graph, D int) (src, dst int, ok bool) {
 	// reach[v] after k rounds: set of vertices reachable from src by a
 	// walk of length exactly k (loops allowed).
 	n := g.N()
@@ -43,24 +51,33 @@ func HasPropertyR(g *graph.Graph, D int) bool {
 		}
 		for v := 0; v < n; v++ {
 			if !cur[v] {
-				return false
+				return src, v, false
 			}
 		}
 	}
-	return true
+	return -1, -1, true
 }
 
 // HasPropertyRStar reports whether (g, f) satisfies Property R* (§5.1.2):
 // f is an involution, and every vertex pair (x, y) satisfies x == y,
 // y == f(x), (x,y) ∈ E, or (f(x), f(y)) ∈ E.
 func HasPropertyRStar(g *graph.Graph, f []int) bool {
+	_, _, ok := PropertyRStarWitness(g, f)
+	return ok
+}
+
+// PropertyRStarWitness is HasPropertyRStar with a counterexample: on
+// failure it returns the first violating vertex pair — (x, f(x)) when f
+// is not an involution at x, else the (x, y) pair covered by none of the
+// Property R* clauses. On success both are -1.
+func PropertyRStarWitness(g *graph.Graph, f []int) (x, y int, ok bool) {
 	n := g.N()
 	if len(f) != n {
-		return false
+		return -1, -1, false
 	}
 	for x := 0; x < n; x++ {
 		if f[x] < 0 || f[x] >= n || f[f[x]] != x {
-			return false // not an involution
+			return x, f[x], false // not an involution
 		}
 	}
 	for x := 0; x < n; x++ {
@@ -68,24 +85,33 @@ func HasPropertyRStar(g *graph.Graph, f []int) bool {
 			if x == y || y == f[x] || g.HasEdge(x, y) || g.HasEdge(f[x], f[y]) {
 				continue
 			}
-			return false
+			return x, y, false
 		}
 	}
-	return true
+	return -1, -1, true
 }
 
 // HasPropertyR1 reports whether (g, f) satisfies Property R1 (§5.1.2,
 // Bermond et al.): f is a bijection, f² is an automorphism of g, and
 // E ∪ f(E) is the complete edge set on V(g).
 func HasPropertyR1(g *graph.Graph, f []int) bool {
+	_, _, ok := PropertyR1Witness(g, f)
+	return ok
+}
+
+// PropertyR1Witness is HasPropertyR1 with a counterexample: on failure
+// it returns the first violating vertex pair — the edge f² fails to
+// preserve, or the pair E ∪ f(E) leaves uncovered. On success both are
+// -1.
+func PropertyR1Witness(g *graph.Graph, f []int) (x, y int, ok bool) {
 	n := g.N()
 	if len(f) != n {
-		return false
+		return -1, -1, false
 	}
 	seen := make([]bool, n)
-	for _, y := range f {
+	for x, y := range f {
 		if y < 0 || y >= n || seen[y] {
-			return false
+			return x, y, false // not a bijection
 		}
 		seen[y] = true
 	}
@@ -93,7 +119,7 @@ func HasPropertyR1(g *graph.Graph, f []int) bool {
 	for x := 0; x < n; x++ {
 		for _, w := range g.Neighbors(x) {
 			if !g.HasEdge(f[f[x]], f[f[int(w)]]) {
-				return false
+				return x, int(w), false
 			}
 		}
 	}
@@ -112,11 +138,11 @@ func HasPropertyR1(g *graph.Graph, f []int) bool {
 	for x := 0; x < n; x++ {
 		for y := x + 1; y < n; y++ {
 			if !covered[[2]int{x, y}] {
-				return false
+				return x, y, false
 			}
 		}
 	}
-	return true
+	return -1, -1, true
 }
 
 // VerifySupernode checks the structural claims of Table 2 for a supernode:
