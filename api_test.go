@@ -119,7 +119,10 @@ func TestFacadeSimSmoke(t *testing.T) {
 
 func TestFacadeFaultAndMotif(t *testing.T) {
 	ps := polarstar.MustNew(3, 3, polarstar.IQ)
-	tr := polarstar.FaultTrial(ps.G, nil, 1, []float64{0, 0.2})
+	tr, err := polarstar.FaultTrial(ps.G, nil, 1, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !tr.Curve[0].Connected {
 		t.Error("zero-failure network disconnected")
 	}
@@ -157,7 +160,10 @@ func TestFacadeExtensions(t *testing.T) {
 		t.Errorf("degenerate link loads: %+v", loads)
 	}
 	// Fault bands.
-	b := polarstar.RunFaultBands(ps.G, nil, 5, 1, []float64{0, 0.2})
+	b, err := polarstar.RunFaultBands(ps.G, nil, 5, 1, []float64{0, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(b.Median) != 2 {
 		t.Errorf("fault bands curve length %d", len(b.Median))
 	}

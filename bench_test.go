@@ -316,7 +316,10 @@ func BenchmarkFig14FaultTolerance(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			tr := faults.MedianTrial(spec.Graph, faults.Hosts(spec.Hosts), trials, 1, faults.DefaultFracs)
+			tr, err := faults.MedianTrial(spec.Graph, faults.Hosts(spec.Hosts), trials, 1, faults.DefaultFracs)
+			if err != nil {
+				b.Fatal(err)
+			}
 			if i == 0 {
 				b.ReportMetric(tr.DisconnectionRatio, name+"_disconnect")
 			}

@@ -36,7 +36,15 @@ func main() {
 		mode     = flag.String("mode", "min", "routing for -traffic: min, ugal")
 		pattern  = flag.String("pattern", "uniform", "traffic pattern for -traffic")
 		workers  = flag.Int("workers", 0, "engine shard workers per -traffic run (0: one per core)")
-		met      = obs.Flags()
+
+		faultPlan    = flag.String("fault-plan", "", "live fault plan file applied during each -traffic run")
+		mtbf         = flag.Float64("mtbf", 0, "additionally generate random live link failures with this mean-cycles-between-failures (0: none)")
+		faultRepair  = flag.Int64("fault-repair", 0, "repair delay in cycles for -mtbf failures (0: permanent)")
+		retries      = flag.Int("retries", 0, "max source retries per packet under live faults (0: default policy)")
+		retryBackoff = flag.Int64("retry-backoff", 0, "base retry backoff in cycles, doubling per retry (0: default)")
+		retryCap     = flag.Int64("retry-cap", 0, "retry backoff cap in cycles (0: default)")
+		pktMaxAge    = flag.Int64("pkt-max-age", 0, "per-packet age limit in cycles under live faults (0: default; <0: unlimited)")
+		met          = obs.Flags()
 	)
 	flag.Parse()
 	defer prof.Start()()
@@ -46,8 +54,13 @@ func main() {
 		fatal(err)
 	}
 	if *traffic {
-		runTraffic(spec, *mode, *pattern, *load, *seed, *workers, met)
+		lf := liveFaults{plan: *faultPlan, mtbf: *mtbf, repair: *faultRepair,
+			retries: *retries, backoff: *retryBackoff, cap: *retryCap, maxAge: *pktMaxAge}
+		runTraffic(spec, *mode, *pattern, *load, *seed, *workers, lf, met)
 		return
+	}
+	if *faultPlan != "" || *mtbf > 0 {
+		fatal(fmt.Errorf("-fault-plan/-mtbf inject live faults into the simulator; combine them with -traffic"))
 	}
 	var hosts faults.Hosts
 	if spec.Hosts != nil {
@@ -63,9 +76,13 @@ func main() {
 		run.Faults = fm
 	}
 	var tr faults.Trial
+	var trErr error
 	prof.Task(func() {
-		tr = faults.MedianTrialObs(spec.Graph, hosts, *trials, *seed, faults.DefaultFracs, fm)
+		tr, trErr = faults.MedianTrialObs(spec.Graph, hosts, *trials, *seed, faults.DefaultFracs, fm)
 	}, "phase", "faults", "spec", spec.Name)
+	if trErr != nil {
+		fatal(trErr)
+	}
 	fmt.Printf("# %s: %d routers, %d links; median disconnection ratio %.3f (%d trials)\n",
 		spec.Name, spec.Graph.N(), spec.Graph.M(), tr.DisconnectionRatio, *trials)
 	fmt.Printf("%-10s %-10s %-10s %-10s\n", "failfrac", "diameter", "avgpath", "connected")
@@ -112,7 +129,17 @@ func main() {
 	}
 }
 
-func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, workers int, met *obs.FlagSet) {
+// liveFaults bundles the -fault-plan/-mtbf/retry flag values for the
+// -traffic mode, where they inject live faults into every degraded run.
+type liveFaults struct {
+	plan                 string
+	mtbf                 float64
+	repair               int64
+	retries              int
+	backoff, cap, maxAge int64
+}
+
+func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, workers int, lf liveFaults, met *obs.FlagSet) {
 	m := sim.MIN
 	if mode == "ugal" {
 		m = sim.UGALMode
@@ -124,6 +151,15 @@ func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, 
 	} else {
 		params.Workers = runtime.GOMAXPROCS(0)
 	}
+	if lf.plan != "" || lf.mtbf > 0 {
+		horizon := int64(params.Warmup + params.Measure + params.Drain)
+		plan, err := sim.LoadPlan(lf.plan, lf.mtbf, lf.repair, spec.Graph, horizon, seed)
+		if err != nil {
+			fatal(err)
+		}
+		params.Plan = plan
+		params.Retry = retryPolicy(lf.retries, lf.backoff, lf.cap, lf.maxAge)
+	}
 	var run *obs.Run
 	var ft *obs.FaultTraffic
 	if met.Enabled() {
@@ -133,6 +169,9 @@ func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, 
 		run.Manifest.Pattern = pattern
 		run.Manifest.Seed = seed
 		run.Manifest.Workers = params.Workers
+		if params.Plan != nil {
+			run.Manifest.FaultPlan = faultManifest(params, lf.plan, lf.mtbf, lf.repair)
+		}
 		ft = &obs.FaultTraffic{}
 		run.FaultTraffic = ft
 	}
@@ -154,6 +193,44 @@ func runTraffic(spec *sim.Spec, mode, pattern string, load float64, seed int64, 
 			fatal(err)
 		}
 		fmt.Printf("# wrote metrics %s\n", *met.Path)
+	}
+}
+
+// retryPolicy layers the explicitly set retry flags over the default
+// policy (0 keeps each default; -pkt-max-age < 0 disables the age limit).
+func retryPolicy(retries int, backoff, cap, maxAge int64) sim.RetryPolicy {
+	rp := sim.DefaultRetryPolicy()
+	if retries > 0 {
+		rp.MaxRetries = retries
+	}
+	if backoff > 0 {
+		rp.BackoffBase = backoff
+	}
+	if cap > 0 {
+		rp.BackoffCap = cap
+	}
+	if maxAge > 0 {
+		rp.MaxAge = maxAge
+	} else if maxAge < 0 {
+		rp.MaxAge = 0
+	}
+	return rp
+}
+
+// faultManifest records the fault plan (canonical hash + generator
+// parameters) and the effective retry policy, so a degraded run is
+// reproducible from its artifact alone.
+func faultManifest(params sim.Params, source string, mtbf float64, repair int64) *obs.FaultPlan {
+	return &obs.FaultPlan{
+		Hash:        fmt.Sprintf("%016x", params.Plan.Hash()),
+		Events:      len(params.Plan.Events),
+		Source:      source,
+		MTBF:        mtbf,
+		Repair:      repair,
+		MaxRetries:  params.Retry.MaxRetries,
+		BackoffBase: params.Retry.BackoffBase,
+		BackoffCap:  params.Retry.BackoffCap,
+		MaxAge:      params.Retry.MaxAge,
 	}
 }
 

@@ -416,7 +416,10 @@ func fig14(c ctx) error {
 			fm = &obs.FaultSweep{Spec: name}
 			c.fig.Faults = append(c.fig.Faults, fm)
 		}
-		tr := faults.MedianTrialObs(spec.Graph, faults.Hosts(spec.Hosts), trials, c.seed, faults.DefaultFracs, fm)
+		tr, err := faults.MedianTrialObs(spec.Graph, faults.Hosts(spec.Hosts), trials, c.seed, faults.DefaultFracs, fm)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(f, "# %s disconnection ratio %.3f\n", name, tr.DisconnectionRatio)
 		var xs, ys []float64
 		for _, p := range tr.Curve {

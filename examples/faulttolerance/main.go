@@ -20,7 +20,10 @@ func main() {
 		}
 		// 15 trials, report the median-disconnection-ratio scenario
 		// (the paper uses 100 trials at full scale).
-		tr := polarstar.FaultMedianTrial(spec.Graph, nil, 15, 7, fracs)
+		tr, err := polarstar.FaultMedianTrial(spec.Graph, nil, 15, 7, fracs)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("=== %s (%d routers, %d links) ===\n", spec.Name, spec.Graph.N(), spec.Graph.M())
 		fmt.Printf("median disconnection ratio: %.2f\n", tr.DisconnectionRatio)
 		for _, p := range tr.Curve {

@@ -15,12 +15,47 @@
 package faults
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
 	"polarstar/internal/graph"
 	"polarstar/internal/obs"
 )
+
+// validate rejects malformed sweep inputs up front — an empty host set,
+// host indices outside the graph, or a failure-fraction ladder that is
+// not ascending within [0, 1] — so the sweeps fail with a descriptive
+// error instead of panicking or silently measuring nonsense.
+func validate(g *graph.Graph, hosts Hosts, fracs []float64) error {
+	if hosts != nil && len(hosts) == 0 {
+		return fmt.Errorf("faults: empty host set (nil means all routers)")
+	}
+	for _, h := range hosts {
+		if h < 0 || h >= g.N() {
+			return fmt.Errorf("faults: host %d outside the %d-router graph", h, g.N())
+		}
+	}
+	prev := -1.0
+	for i, f := range fracs {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("faults: failure fraction %g at index %d outside [0, 1]", f, i)
+		}
+		if f < prev {
+			return fmt.Errorf("faults: failure fractions must be ascending (%g after %g)", f, prev)
+		}
+		prev = f
+	}
+	return nil
+}
+
+// validateTrials additionally rejects non-positive trial counts.
+func validateTrials(g *graph.Graph, hosts Hosts, trials int, fracs []float64) error {
+	if trials < 1 {
+		return fmt.Errorf("faults: trial count %d < 1", trials)
+	}
+	return validate(g, hosts, fracs)
+}
 
 // Point is one sampled failure fraction of a trial.
 type Point struct {
@@ -229,13 +264,16 @@ func (sw *sweeper) runTrialObs(hosts Hosts, seed int64, fracs []float64, mt *obs
 // fraction in fracs (which must be ascending). Sampling stops once the
 // host set is disconnected; the disconnection ratio is located exactly by
 // bisection over the removal order.
-func RunTrial(g *graph.Graph, hosts Hosts, seed int64, fracs []float64) Trial {
-	return newSweeper(g).runTrial(hosts, seed, fracs)
+func RunTrial(g *graph.Graph, hosts Hosts, seed int64, fracs []float64) (Trial, error) {
+	if err := validate(g, hosts, fracs); err != nil {
+		return Trial{}, err
+	}
+	return newSweeper(g).runTrial(hosts, seed, fracs), nil
 }
 
 // MedianTrial runs `trials` independent scenarios and returns the one
 // with the median disconnection ratio (the paper's reporting protocol).
-func MedianTrial(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) Trial {
+func MedianTrial(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) (Trial, error) {
 	return MedianTrialObs(g, hosts, trials, seed, fracs, nil)
 }
 
@@ -244,9 +282,9 @@ func MedianTrial(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []fl
 // ratio) per ranked scenario in scenario order, and the fully sampled
 // median trial's degraded-point and lost-pair counters. The returned
 // Trial is identical with fm on or off.
-func MedianTrialObs(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64, fm *obs.FaultSweep) Trial {
-	if trials < 1 {
-		trials = 1
+func MedianTrialObs(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64, fm *obs.FaultSweep) (Trial, error) {
+	if err := validateTrials(g, hosts, trials, fracs); err != nil {
+		return Trial{}, err
 	}
 	sw := newSweeper(g)
 	var intactDiam int32
@@ -273,10 +311,10 @@ func MedianTrialObs(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs [
 	sort.Slice(rs, func(i, j int) bool { return rs[i].ratio < rs[j].ratio })
 	med := rs[len(rs)/2]
 	if fm == nil {
-		return sw.runTrial(hosts, med.seed, fracs)
+		return sw.runTrial(hosts, med.seed, fracs), nil
 	}
 	fm.Median = &obs.FaultTrial{}
-	return sw.runTrialObs(hosts, med.seed, fracs, fm.Median, intactDiam)
+	return sw.runTrialObs(hosts, med.seed, fracs, fm.Median, intactDiam), nil
 }
 
 // Bands aggregates many trials into quartile curves — an extension of
@@ -292,9 +330,9 @@ type Bands struct {
 // RunBands runs `trials` scenarios and reports per-failure-fraction
 // quartiles of the average path length plus disconnection-ratio
 // quartiles.
-func RunBands(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) Bands {
-	if trials < 1 {
-		trials = 1
+func RunBands(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float64) (Bands, error) {
+	if err := validateTrials(g, hosts, trials, fracs); err != nil {
+		return Bands{}, err
 	}
 	sw := newSweeper(g)
 	b := Bands{Fracs: fracs, Trials: trials}
@@ -323,7 +361,7 @@ func RunBands(g *graph.Graph, hosts Hosts, trials int, seed int64, fracs []float
 		b.Median = append(b.Median, quart(xs, 0.5))
 		b.P75 = append(b.P75, quart(xs, 0.75))
 	}
-	return b
+	return b, nil
 }
 
 // DefaultFracs is the failure-ratio ladder of Fig 14.

@@ -7,9 +7,18 @@ import (
 	"polarstar/internal/topo"
 )
 
+// mustTrial panics on a validation error and returns the trial; the
+// tests here always pass valid arguments.
+func mustTrial(tr Trial, err error) Trial {
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
 func TestRunTrialOnPolarStar(t *testing.T) {
 	ps := topo.MustNewPolarStar(4, 3, topo.KindIQ)
-	tr := RunTrial(ps.G, nil, 1, []float64{0, 0.1, 0.3})
+	tr := mustTrial(RunTrial(ps.G, nil, 1, []float64{0, 0.1, 0.3}))
 	if len(tr.Curve) != 3 {
 		t.Fatalf("curve length %d", len(tr.Curve))
 	}
@@ -42,7 +51,7 @@ func TestDisconnectionRatioExact(t *testing.T) {
 	for i := 0; i+1 < 10; i++ {
 		b.AddEdge(i, i+1)
 	}
-	tr := RunTrial(b.Build(), nil, 3, nil)
+	tr := mustTrial(RunTrial(b.Build(), nil, 3, nil))
 	if tr.DisconnectionRatio != 1.0/9.0 {
 		t.Errorf("path disconnection ratio = %f, want 1/9", tr.DisconnectionRatio)
 	}
@@ -50,8 +59,8 @@ func TestDisconnectionRatioExact(t *testing.T) {
 
 func TestMedianTrialDeterministic(t *testing.T) {
 	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
-	a := MedianTrial(ps.G, nil, 9, 7, []float64{0, 0.2})
-	b := MedianTrial(ps.G, nil, 9, 7, []float64{0, 0.2})
+	a := mustTrial(MedianTrial(ps.G, nil, 9, 7, []float64{0, 0.2}))
+	b := mustTrial(MedianTrial(ps.G, nil, 9, 7, []float64{0, 0.2}))
 	if a.Seed != b.Seed || a.DisconnectionRatio != b.DisconnectionRatio {
 		t.Error("MedianTrial not deterministic")
 	}
@@ -65,7 +74,7 @@ func TestHostRestrictedStats(t *testing.T) {
 	// 4 (up to the core and down).
 	ft := topo.MustNewFatTree(4)
 	hosts := Hosts(ft.LeafRouters())
-	tr := RunTrial(ft.G, hosts, 2, []float64{0})
+	tr := mustTrial(RunTrial(ft.G, hosts, 2, []float64{0}))
 	if tr.Curve[0].Diameter != 4 {
 		t.Errorf("fat-tree leaf diameter = %d, want 4", tr.Curve[0].Diameter)
 	}
@@ -83,8 +92,8 @@ func TestResilienceOrderingDFDiameterGrowsFast(t *testing.T) {
 	df := topo.MustNewDragonfly(8, 4)
 	hx := topo.MustNewHyperX(5, 5, 5)
 	fr := []float64{0, 0.1}
-	dfTr := MedianTrial(df.G, nil, 5, 11, fr)
-	hxTr := MedianTrial(hx.G, nil, 5, 11, fr)
+	dfTr := mustTrial(MedianTrial(df.G, nil, 5, 11, fr))
+	hxTr := mustTrial(MedianTrial(hx.G, nil, 5, 11, fr))
 	if dfTr.Curve[1].Diameter <= dfTr.Curve[0].Diameter {
 		t.Errorf("dragonfly diameter did not grow under 10%% failures: %d -> %d",
 			dfTr.Curve[0].Diameter, dfTr.Curve[1].Diameter)
@@ -100,7 +109,7 @@ func TestSingleHostTrivially(t *testing.T) {
 	b.AddEdge(0, 1)
 	b.AddEdge(1, 2)
 	b.AddEdge(0, 2)
-	tr := RunTrial(b.Build(), Hosts{1}, 1, []float64{0.9})
+	tr := mustTrial(RunTrial(b.Build(), Hosts{1}, 1, []float64{0.9}))
 	if tr.DisconnectionRatio != float64(4)/float64(3) {
 		// A single host never disconnects: the bisection reports
 		// len(edges)+1 removals.
@@ -108,9 +117,45 @@ func TestSingleHostTrivially(t *testing.T) {
 	}
 }
 
+// TestValidationErrors pins the input checks: malformed sweeps are
+// rejected with an error instead of panicking or silently looping.
+func TestValidationErrors(t *testing.T) {
+	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
+	if _, err := RunTrial(ps.G, Hosts{}, 1, nil); err == nil {
+		t.Error("empty non-nil host set accepted")
+	}
+	if _, err := RunTrial(ps.G, Hosts{-1}, 1, nil); err == nil {
+		t.Error("negative host accepted")
+	}
+	if _, err := RunTrial(ps.G, Hosts{ps.G.N()}, 1, nil); err == nil {
+		t.Error("out-of-range host accepted")
+	}
+	if _, err := RunTrial(ps.G, nil, 1, []float64{-0.1}); err == nil {
+		t.Error("negative failure fraction accepted")
+	}
+	if _, err := RunTrial(ps.G, nil, 1, []float64{0.2, 1.5}); err == nil {
+		t.Error("failure fraction > 1 accepted")
+	}
+	if _, err := RunTrial(ps.G, nil, 1, []float64{0.4, 0.2}); err == nil {
+		t.Error("descending failure fractions accepted")
+	}
+	if _, err := MedianTrial(ps.G, nil, 0, 1, []float64{0}); err == nil {
+		t.Error("zero trial count accepted")
+	}
+	if _, err := MedianTrial(ps.G, nil, -3, 1, []float64{0}); err == nil {
+		t.Error("negative trial count accepted")
+	}
+	if _, err := RunBands(ps.G, nil, 0, 1, []float64{0}); err == nil {
+		t.Error("zero trial count accepted by RunBands")
+	}
+}
+
 func TestRunBands(t *testing.T) {
 	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
-	b := RunBands(ps.G, nil, 9, 3, []float64{0, 0.2, 0.4})
+	b, err := RunBands(ps.G, nil, 9, 3, []float64{0, 0.2, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(b.Median) != 3 {
 		t.Fatalf("median curve length %d", len(b.Median))
 	}

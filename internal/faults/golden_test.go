@@ -14,7 +14,10 @@ import (
 
 func TestGoldenTrialPSIQSmall(t *testing.T) {
 	spec := sim.MustNewSpec("ps-iq-small")
-	tr := faults.RunTrial(spec.Graph, nil, 7, faults.DefaultFracs)
+	tr, err := faults.RunTrial(spec.Graph, nil, 7, faults.DefaultFracs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got, want := tr.DisconnectionRatio, 0.47999999999999998; got != want {
 		t.Errorf("disconnection ratio = %.17g, want %.17g", got, want)
 	}
@@ -52,7 +55,10 @@ func TestGoldenTrialPSIQSmall(t *testing.T) {
 
 func TestGoldenMedianTrial(t *testing.T) {
 	spec := sim.MustNewSpec("ps-iq-small")
-	med := faults.MedianTrial(spec.Graph, nil, 5, 1, faults.DefaultFracs)
+	med, err := faults.MedianTrial(spec.Graph, nil, 5, 1, faults.DefaultFracs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if med.Seed != 1 {
 		t.Errorf("median seed = %d, want 1", med.Seed)
 	}
@@ -65,7 +71,10 @@ func TestGoldenMedianTrial(t *testing.T) {
 // only leaf routers count, §11.2).
 func TestGoldenTrialHostsSubset(t *testing.T) {
 	ft := sim.MustNewSpec("ft-small")
-	tr := faults.RunTrial(ft.Graph, faults.Hosts(ft.Hosts), 3, []float64{0, 0.1, 0.2})
+	tr, err := faults.RunTrial(ft.Graph, faults.Hosts(ft.Hosts), 3, []float64{0, 0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got, want := tr.DisconnectionRatio, 0.496; got != want {
 		t.Errorf("disconnection ratio = %.17g, want %.17g", got, want)
 	}

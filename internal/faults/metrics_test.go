@@ -15,9 +15,9 @@ import (
 func TestMedianTrialObsDoesNotPerturb(t *testing.T) {
 	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
 	fracs := []float64{0, 0.2, 0.4, 0.6}
-	plain := MedianTrial(ps.G, nil, 7, 11, fracs)
+	plain := mustTrial(MedianTrial(ps.G, nil, 7, 11, fracs))
 	var fm obs.FaultSweep
-	observed := MedianTrialObs(ps.G, nil, 7, 11, fracs, &fm)
+	observed := mustTrial(MedianTrialObs(ps.G, nil, 7, 11, fracs, &fm))
 	if !reflect.DeepEqual(plain, observed) {
 		t.Errorf("observed trial %+v differs from plain %+v", observed, plain)
 	}
@@ -31,7 +31,7 @@ func TestMedianTrialObsAccounting(t *testing.T) {
 	fracs := []float64{0, 0.2, 0.4, 0.6, 0.8}
 	const trials = 7
 	var fm obs.FaultSweep
-	tr := MedianTrialObs(ps.G, nil, trials, 11, fracs, &fm)
+	tr := mustTrial(MedianTrialObs(ps.G, nil, trials, 11, fracs, &fm))
 	if fm.IntactDiameter != 3 {
 		t.Errorf("intact diameter %d, want 3 (PolarStar)", fm.IntactDiameter)
 	}
@@ -77,6 +77,21 @@ func TestMedianTrialObsAccounting(t *testing.T) {
 	}
 	if m.DegradedPoints > len(fracs) {
 		t.Errorf("degraded points %d exceeds sampled points", m.DegradedPoints)
+	}
+}
+
+// TestTrafficSweepValidation pins the degraded-traffic input checks.
+func TestTrafficSweepValidation(t *testing.T) {
+	spec := sim.MustNewSpec("ps-iq-small")
+	p := sim.DefaultParams(3)
+	p.Warmup, p.Measure, p.Drain = 50, 100, 150
+	for _, load := range []float64{0, -0.2, 1.5} {
+		if _, err := TrafficSweep(spec, sim.MIN, "uniform", load, []float64{0}, p, 5); err == nil {
+			t.Errorf("offered load %g accepted", load)
+		}
+	}
+	if _, err := TrafficSweep(spec, sim.MIN, "uniform", 0.2, []float64{0.4, 0.2}, p, 5); err == nil {
+		t.Error("descending failure fractions accepted")
 	}
 }
 

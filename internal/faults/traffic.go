@@ -7,6 +7,7 @@
 package faults
 
 import (
+	"fmt"
 	"math/rand"
 
 	"polarstar/internal/obs"
@@ -36,6 +37,12 @@ func TrafficSweep(spec *sim.Spec, mode sim.RoutingMode, patternName string, load
 // latency/stall/loss breakdown of every degraded topology. Results are
 // identical with ft on or off.
 func TrafficSweepObs(spec *sim.Spec, mode sim.RoutingMode, patternName string, load float64, fracs []float64, params sim.Params, seed int64, ft *obs.FaultTraffic) ([]TrafficPoint, error) {
+	if load <= 0 || load > 1 {
+		return nil, fmt.Errorf("faults: offered load %g outside (0, 1]", load)
+	}
+	if err := validate(spec.Graph, nil, fracs); err != nil {
+		return nil, err
+	}
 	edges := spec.Graph.Edges()
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
@@ -59,6 +66,15 @@ func TrafficSweepObs(spec *sim.Spec, mode sim.RoutingMode, patternName string, l
 		pattern, err := deg.Pattern(patternName, p.Seed)
 		if err != nil {
 			return nil, err
+		}
+		if k == 0 {
+			// The intact point must be fully routable — an unreachable pair
+			// there is a spec error, not link damage. Degraded points skip
+			// the check on purpose: losing packets on severed pairs is the
+			// measurement.
+			if err := sim.CheckReachable(deg.Graph, deg.Config(), pattern); err != nil {
+				return nil, err
+			}
 		}
 		var routing sim.Routing
 		switch mode {

@@ -33,6 +33,25 @@ type Manifest struct {
 	GoVersion  string            `json:"go_version"`
 	Revision   string            `json:"revision"`
 	Args       map[string]string `json:"args,omitempty"`
+
+	// FaultPlan records the live fault-injection configuration of the
+	// run — the canonical plan hash plus every generator and retry
+	// parameter — so a degraded run is reproducible from its artifact
+	// alone. Nil (and absent from the JSON) for healthy runs.
+	FaultPlan *FaultPlan `json:"fault_plan,omitempty"`
+}
+
+// FaultPlan is the manifest block describing a live fault-injection run.
+type FaultPlan struct {
+	Hash        string  `json:"hash"`             // FNV-1a of the canonical plan text, %016x
+	Events      int     `json:"events"`           // scripted events in the merged plan
+	Source      string  `json:"source,omitempty"` // plan file path, when one was given
+	MTBF        float64 `json:"mtbf,omitempty"`   // mean cycles between generated failures (0: none)
+	Repair      int64   `json:"repair,omitempty"` // generated-failure repair delay in cycles (0: permanent)
+	MaxRetries  int     `json:"max_retries"`
+	BackoffBase int64   `json:"backoff_base"`
+	BackoffCap  int64   `json:"backoff_cap"`
+	MaxAge      int64   `json:"max_age"`
 }
 
 // Timing is the volatile block of an artifact: wall and CPU time differ
@@ -56,8 +75,8 @@ type Run struct {
 
 	Timing *Timing `json:"timing,omitempty"`
 
-	start     time.Time
-	startCPU  time.Duration
+	start    time.Time
+	startCPU time.Duration
 }
 
 // NewRun starts an artifact for the named tool, capturing the

@@ -31,10 +31,10 @@ type SimRun struct {
 	Delivered Counter `json:"delivered"` // packets ejected at their destination
 
 	// Arbitration stall counters: failed forward attempts by cause.
-	StallInject  Counter `json:"stall_inject"`   // source endpoint still serializing a previous packet
-	StallEject   Counter `json:"stall_eject"`    // destination ejection channel busy
-	StallChannel Counter `json:"stall_channel"`  // output channel busy this cycle
-	StallCredit  Counter `json:"stall_credit"`   // no eligible VC with downstream credits
+	StallInject   Counter `json:"stall_inject"`        // source endpoint still serializing a previous packet
+	StallEject    Counter `json:"stall_eject"`         // destination ejection channel busy
+	StallChannel  Counter `json:"stall_channel"`       // output channel busy this cycle
+	StallCredit   Counter `json:"stall_credit"`        // no eligible VC with downstream credits
 	CreditStallVC []int64 `json:"credit_stall_per_vc"` // credit stalls keyed by the packet's lowest eligible VC
 
 	// Latency is the end-to-end latency histogram (cycles) of measured
@@ -54,6 +54,28 @@ type SimRun struct {
 	// -metrics-interval is 0).
 	Interval int           `json:"interval,omitempty"`
 	Series   []IntervalRow `json:"series,omitempty"`
+
+	// Faults is the live fault-injection accounting, present only when
+	// the run carried an active fault plan (sim.Params.Plan). A pointer
+	// with omitempty so artifacts of healthy runs are byte-identical to
+	// the pre-fault schema.
+	Faults *SimFaults `json:"faults,omitempty"`
+}
+
+// SimFaults is the fault accounting of one live fault-injected
+// simulation run: how much of the plan fired, what happened to the
+// packets it hit, and whether the no-progress watchdog had to end the
+// run early.
+type SimFaults struct {
+	PlanEvents      int64   `json:"plan_events"`             // events the plan scripts
+	EventsApplied   int64   `json:"events_applied"`          // events whose cycle was reached
+	DroppedInFlight Counter `json:"dropped_in_flight"`       // packets dropped on a dying link (credits reclaimed)
+	Retries         Counter `json:"retries"`                 // source retries performed
+	LostRetryBudget Counter `json:"lost_retry_budget"`       // packets that exhausted MaxRetries
+	LostTimeout     Counter `json:"lost_timeout"`            // packets that exceeded the MaxAge limit
+	LostStranded    Counter `json:"lost_stranded"`           // packets wedged when the watchdog fired
+	TerminatedEarly bool    `json:"terminated_early"`        // the watchdog ended the run before the horizon
+	TerminatedAt    int64   `json:"terminated_at,omitempty"` // cycle of early termination
 }
 
 // SimSweep is one latency-load sweep: a SimRun per offered-load point,
@@ -82,11 +104,11 @@ type FlowRun struct {
 	Motif    string `json:"motif,omitempty"`
 	Routing  string `json:"routing,omitempty"`
 
-	Messages Counter  `json:"messages"`
-	Bytes    float64  `json:"bytes"`
-	Hops     Histogram `json:"hops"`
-	LastDeliveryNS float64 `json:"last_delivery_ns"`
-	CompletionUS   float64 `json:"completion_us,omitempty"`
+	Messages       Counter   `json:"messages"`
+	Bytes          float64   `json:"bytes"`
+	Hops           Histogram `json:"hops"`
+	LastDeliveryNS float64   `json:"last_delivery_ns"`
+	CompletionUS   float64   `json:"completion_us,omitempty"`
 
 	// LinkBusyNS accumulates serialization time per directed channel; its
 	// JSON form is the per-link utilization histogram (busy / makespan).
@@ -181,7 +203,7 @@ type FaultTraffic struct {
 // Figure is one figure of a psfig run; sim/fault figures attach their
 // sweep metrics.
 type Figure struct {
-	Name   string      `json:"name"`
-	Sims   []*SimSweep `json:"sims,omitempty"`
+	Name   string        `json:"name"`
+	Sims   []*SimSweep   `json:"sims,omitempty"`
 	Faults []*FaultSweep `json:"faults,omitempty"`
 }

@@ -1,0 +1,82 @@
+package route
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"polarstar/internal/graph"
+	"polarstar/internal/topo"
+)
+
+// TestRepairMatchesRebuild is the property test behind DropEdge's
+// contract: after every one of 200 random edge removals the incrementally
+// repaired table must be bit-identical — distances, CSR offsets and
+// next-hop lists — to a from-scratch NewTable on the degraded graph,
+// including once the removals disconnect the graph.
+func TestRepairMatchesRebuild(t *testing.T) {
+	topos := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ps-iq", topo.MustNewPolarStar(3, 3, topo.KindIQ).G},
+		{"df", topo.MustNewDragonfly(4, 2).G},
+		{"hx", topo.MustNewHyperX(3, 3, 3).G},
+	}
+	for _, tc := range topos {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(11))
+			cur := tc.g
+			tab := NewTable(tc.g, MultiPath).Clone() // repair in place, keep tc.g's table pristine
+			removals := 200
+			if m := tc.g.M(); removals > m-1 {
+				removals = m - 1
+			}
+			for i := 0; i < removals; i++ {
+				edges := cur.Edges()
+				e := edges[rng.Intn(len(edges))]
+				tab.DropEdge(e[0], e[1])
+				cur = cur.RemoveEdges([][2]int{e})
+				ref := NewTable(cur, MultiPath)
+				if !bytes.Equal(tab.dist, ref.dist) {
+					t.Fatalf("removal %d (%v): repaired dist differs from rebuild", i, e)
+				}
+				if !eqInt32(tab.nhOff, ref.nhOff) {
+					t.Fatalf("removal %d (%v): repaired nhOff differs from rebuild", i, e)
+				}
+				if !eqInt32(tab.nh, ref.nh) {
+					t.Fatalf("removal %d (%v): repaired nh differs from rebuild", i, e)
+				}
+			}
+		})
+	}
+}
+
+// TestRepairDropMissingEdgeNoop pins that dropping an absent edge leaves
+// the table untouched.
+func TestRepairDropMissingEdgeNoop(t *testing.T) {
+	g := topo.MustNewPolarStar(3, 3, topo.KindIQ).G
+	tab := NewTable(g, MultiPath).Clone()
+	e := g.Edges()[0]
+	tab.DropEdge(e[0], e[1])
+	tab.DropEdge(e[0], e[1]) // second drop: the edge is already gone
+	cur := g.RemoveEdges([][2]int{e})
+	want := NewTable(cur, MultiPath)
+	if !bytes.Equal(tab.dist, want.dist) || !eqInt32(tab.nh, want.nh) {
+		t.Fatal("double DropEdge diverged from single removal")
+	}
+}
+
+func eqInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -64,6 +64,10 @@ type Table struct {
 	// every neighbor with a distance lookup per hop.
 	nhOff []int32
 	nh    []int32
+
+	// Incremental-repair scratch (see repair.go), allocated on the first
+	// DropEdge and reused across repairs.
+	rs *repairScratch
 }
 
 // TableMode selects minpath diversity for Table engines.
@@ -154,6 +158,9 @@ func (t *Table) buildNextHops() {
 // Slab exposes the distance backing for reuse via NewTableInto. The table
 // must not be used after its slab has been handed to a new table.
 func (t *Table) Slab() []uint8 { return t.dist }
+
+// Mode returns the table's minpath-diversity mode.
+func (t *Table) Mode() TableMode { return t.mode }
 
 // MaxDist returns the maximum finite pairwise distance — the diameter of
 // the largest-diameter connected component. Degraded-topology sweeps use

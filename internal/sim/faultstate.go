@@ -1,0 +1,463 @@
+package sim
+
+// Live fault injection: the engine-side state machine behind Params.Plan.
+// All mutation happens in the serial sections of the cycle (applyFaults /
+// injectRetries before generation, collectRetries / watchdog after
+// commit), so the parallel phases only ever read liveness through
+// faultState — the same ownership discipline that makes the rest of the
+// cycle race-free and worker-count independent.
+//
+// Invariants the fault path maintains:
+//
+//   - Credit reclaim: a packet dropped while in flight on a dying channel
+//     gives back the S flits of downstream credit its grant reserved, so
+//     no healthy channel is starved by credits parked on a dead one.
+//     Packets that already crossed a link before it died keep their
+//     buffer and drain normally through the (live) downstream router.
+//   - Deterministic retries: per-shard retry requests are drained in
+//     fixed shard order into one serial heap keyed (cycle, sequence), and
+//     re-injected packets draw their route RNG from a dedicated
+//     descending counter — so retry traffic is bit-identical at any
+//     worker count, exactly like fresh traffic.
+//   - Graceful degradation: a network the plan has disconnected cannot
+//     hang the run. Every undeliverable packet converges to one of the
+//     loss buckets (retry budget, age timeout, stranded), and the
+//     no-progress watchdog ends the run early with partial metrics once
+//     nothing can move anymore.
+
+import (
+	"polarstar/internal/route"
+)
+
+// escapeTrees is the number of edge-disjoint spanning trees backing the
+// escape router (arXiv:2403.12231): two trees survive any single link
+// failure by construction.
+const escapeTrees = 2
+
+// retryEvent is one scheduled re-injection on the serial retry heap.
+type retryEvent struct {
+	when    int64 // cycle of re-injection
+	seq     int64 // tie-break: schedule order
+	ep, dst int32
+	gen     int64 // original generation cycle (age timeout base)
+	retries uint8 // retries already consumed including this one
+}
+
+// retryReq is a retry request journaled by a shard during the parallel
+// phases, converted to a retryEvent in fixed shard order after commit.
+type retryReq struct {
+	ep, dst int32
+	gen     int64
+	retries uint8
+}
+
+// faultState is the live-fault extension of an Engine, allocated only
+// when Params.Plan carries events (e.fs stays nil otherwise, keeping the
+// healthy path bit-identical and allocation-free).
+type faultState struct {
+	e      *Engine
+	plan   *Plan
+	next   int // cursor into plan.Events
+	policy RetryPolicy
+
+	deadChan   []bool          // channel id -> link currently failed
+	deadRouter []bool          // router -> currently failed
+	linkDown   map[[2]int]bool // explicit link-down events (u<v), distinct from router kills
+
+	base   *route.Table      // primary table of the routing engine (nil: analytic)
+	repair *route.Table      // lazily cloned copy of base, patched as links die
+	escape *route.TreeEscape // spanning-tree escape paths (always available)
+
+	retryHeap []retryEvent
+	seq       int64
+	retryCtr  int64 // descending route-RNG seeds for re-injected packets
+
+	// No-progress watchdog.
+	lastProgress int64
+	stuck        int64
+	done         bool
+	doneAt       int64
+
+	// Accounting (serial writes only).
+	eventsApplied   int64
+	droppedInFlight int64
+	retried         int64
+	lostRetries     int64
+	lostTimeout     int64
+	lostStranded    int64
+}
+
+// initFaults arms the engine with a non-empty fault plan: liveness maps,
+// the escape router, and liveness-aware routing on every shard clone.
+// Called from NewEngine after the shards exist.
+func (e *Engine) initFaults(params Params) {
+	fs := &faultState{
+		e:          e,
+		plan:       params.Plan,
+		policy:     params.Retry.normalized(),
+		deadChan:   make([]bool, e.g.NumChannels()),
+		deadRouter: make([]bool, e.g.N()),
+		linkDown:   make(map[[2]int]bool),
+		retryCtr:   -1,
+	}
+	fs.base = baseTable(e.routing)
+	fs.escape = route.NewTreeEscape(e.g, escapeTrees, params.Seed)
+	e.fs = fs
+	for _, sh := range e.shards {
+		switch r := sh.routing.(type) {
+		case Min:
+			r.Live = fs.linkLive
+			sh.routing = r
+		case *UGAL:
+			r.Live = fs.linkLive
+		}
+	}
+}
+
+// baseTable extracts the all-pairs table underlying a routing engine, if
+// it has one: Min and UGAL over a route.Table get incremental degraded
+// repair; analytic engines fall back to the spanning-tree escape alone.
+func baseTable(r Routing) *route.Table {
+	switch r := r.(type) {
+	case Min:
+		if t, ok := r.Engine.(*route.Table); ok {
+			return t
+		}
+	case *UGAL:
+		if t, ok := r.Min.(*route.Table); ok {
+			return t
+		}
+	}
+	return nil
+}
+
+// linkLive reports whether the directed link u→v is usable. Read by the
+// parallel phases; written only by the serial applyFaults.
+func (fs *faultState) linkLive(u, v int) bool {
+	if fs.deadRouter[u] || fs.deadRouter[v] {
+		return false
+	}
+	c := fs.e.channelID(u, v)
+	return c >= 0 && !fs.deadChan[c]
+}
+
+// pathLiveChans reports whether every hop of a vertex path maps to a
+// live channel (dead routers kill all their incident channels, so the
+// channel check covers intermediate routers too).
+func (fs *faultState) pathLiveChans(path []int) bool {
+	for i := 0; i+1 < len(path); i++ {
+		c := fs.e.channelID(path[i], path[i+1])
+		if c < 0 || fs.deadChan[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyFaults applies every plan event due at cycle t, then drops the
+// in-flight packets caught on newly dead channels in one batch scan.
+// Runs serially at the start of the cycle.
+func (e *Engine) applyFaults(t int64) {
+	fs := e.fs
+	killed := false
+	for fs.next < len(fs.plan.Events) && fs.plan.Events[fs.next].Cycle <= t {
+		ev := fs.plan.Events[fs.next]
+		fs.next++
+		fs.eventsApplied++
+		switch ev.Kind {
+		case LinkDown:
+			killed = fs.applyLinkDown(ev.U, ev.V) || killed
+		case LinkUp:
+			fs.applyLinkUp(ev.U, ev.V)
+		case RouterDown:
+			killed = fs.applyRouterDown(ev.U) || killed
+		case RouterUp:
+			fs.applyRouterUp(ev.U)
+		}
+	}
+	if killed {
+		fs.dropInFlight(t)
+	}
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// killEdge marks both directed channels of (u, v) dead and patches the
+// repair table incrementally. Reports whether the edge was live before.
+func (fs *faultState) killEdge(u, v int) bool {
+	cu := fs.e.channelID(u, v)
+	if cu < 0 || fs.deadChan[cu] {
+		return false
+	}
+	fs.deadChan[cu] = true
+	fs.deadChan[fs.e.channelID(v, u)] = true
+	if fs.base != nil {
+		if fs.repair == nil {
+			fs.repair = fs.base.Clone()
+		}
+		fs.repair.DropEdge(u, v)
+	}
+	return true
+}
+
+func (fs *faultState) applyLinkDown(u, v int) bool {
+	fs.linkDown[edgeKey(u, v)] = true
+	return fs.killEdge(u, v)
+}
+
+func (fs *faultState) applyRouterDown(r int) bool {
+	if fs.deadRouter[r] {
+		return false
+	}
+	fs.deadRouter[r] = true
+	killed := false
+	for _, w := range fs.e.g.Neighbors(r) {
+		killed = fs.killEdge(r, int(w)) || killed
+	}
+	return killed
+}
+
+// applyLinkUp / applyRouterUp clear the corresponding down state, then
+// re-derive channel liveness and rebuild the repair table from scratch on
+// the still-degraded graph (incremental repair only handles removals;
+// repairs are rare enough that a full rebuild — reusing the slab — is the
+// simpler correct move).
+func (fs *faultState) applyLinkUp(u, v int) {
+	delete(fs.linkDown, edgeKey(u, v))
+	fs.refreshLiveness()
+}
+
+func (fs *faultState) applyRouterUp(r int) {
+	if !fs.deadRouter[r] {
+		return
+	}
+	fs.deadRouter[r] = false
+	fs.refreshLiveness()
+}
+
+// refreshLiveness recomputes deadChan from the ground truth (explicit
+// link-down set plus dead routers) and rebuilds the repair table on the
+// resulting graph. Iteration follows g.Edges() order, so the rebuild is
+// deterministic.
+func (fs *faultState) refreshLiveness() {
+	e := fs.e
+	for i := range fs.deadChan {
+		fs.deadChan[i] = false
+	}
+	var dead [][2]int
+	for _, ed := range e.g.Edges() {
+		u, v := ed[0], ed[1]
+		if fs.linkDown[edgeKey(u, v)] || fs.deadRouter[u] || fs.deadRouter[v] {
+			fs.deadChan[e.channelID(u, v)] = true
+			fs.deadChan[e.channelID(v, u)] = true
+			dead = append(dead, ed)
+		}
+	}
+	if fs.repair != nil {
+		fs.repair = route.NewTableInto(e.g.RemoveEdges(dead), fs.repair.Mode(), fs.repair.Slab())
+	}
+}
+
+// dropInFlight drops every packet in flight toward a now-dead channel:
+// the grant reserved S flits of that channel's downstream buffer, so the
+// reclaim decrements occ/occSum by exactly S per packet (the
+// credit-reclaim invariant), and the packet is source-retried.
+func (fs *faultState) dropInFlight(t int64) {
+	e := fs.e
+	S := int32(e.p.PacketFlits)
+	vcs := int32(e.vcs)
+	for i := range e.mail {
+		box := e.mail[i]
+		if len(box) == 0 {
+			continue
+		}
+		kept := box[:0]
+		for j := range box {
+			a := box[j]
+			c := a.unit / vcs
+			if fs.deadChan[c] {
+				e.occ[a.unit] -= S
+				e.occSum[c] -= S
+				fs.droppedInFlight++
+				fs.scheduleRetry(t, a.pkt.srcEP, a.pkt.dstEP, a.pkt.gen, a.pkt.retries)
+				continue
+			}
+			kept = append(kept, a)
+		}
+		e.mail[i] = kept
+	}
+}
+
+// detour validates a freshly routed path against current liveness and,
+// when it is dead (or the primary router found none), tries the repaired
+// table and then the spanning-tree escape paths. ok == false means the
+// packet cannot be routed right now and must be source-retried.
+func (fs *faultState) detour(sh *shardState, src, dst int, path []int) ([]int, bool) {
+	if fs.deadRouter[src] || fs.deadRouter[dst] {
+		return nil, false
+	}
+	if n := len(path); n > 0 && n <= MaxPathNodes && fs.pathLiveChans(path) {
+		return path, true
+	}
+	if fs.repair != nil {
+		sh.escBuf = fs.repair.AppendPath(sh.escBuf[:0], src, dst, sh.rng)
+		if n := len(sh.escBuf); n > 0 && n <= MaxPathNodes {
+			return sh.escBuf, true
+		}
+	}
+	sh.escBuf = fs.escape.AppendPath(sh.escBuf[:0], src, dst, fs.linkLive)
+	if n := len(sh.escBuf); n > 0 && n <= MaxPathNodes {
+		return sh.escBuf, true
+	}
+	return nil, false
+}
+
+// retryFrom journals a source retry for a packet dropped during
+// arbitration (dead channel ahead, or destination router down). The
+// journal is per shard; collectRetries serializes it.
+func (fs *faultState) retryFrom(sh *shardState, pkt *packet) {
+	sh.retryQ = append(sh.retryQ, retryReq{ep: pkt.srcEP, dst: pkt.dstEP, gen: pkt.gen, retries: pkt.retries})
+}
+
+// collectRetries drains the per-shard retry journals in fixed shard
+// order into the serial retry heap. Runs after commit.
+func (e *Engine) collectRetries(t int64) {
+	fs := e.fs
+	for _, sh := range e.shards {
+		for _, rq := range sh.retryQ {
+			fs.scheduleRetry(t, rq.ep, rq.dst, rq.gen, rq.retries)
+		}
+		sh.retryQ = sh.retryQ[:0]
+	}
+}
+
+// scheduleRetry books one re-injection with bounded exponential backoff,
+// or charges the packet to a loss bucket when its retry budget or age
+// limit is exhausted.
+func (fs *faultState) scheduleRetry(t int64, ep, dst int32, gen int64, retries uint8) {
+	if int(retries) >= fs.policy.MaxRetries {
+		fs.lostRetries++
+		return
+	}
+	backoff := fs.policy.BackoffBase << retries
+	if backoff <= 0 || backoff > fs.policy.BackoffCap {
+		backoff = fs.policy.BackoffCap
+	}
+	when := t + 1 + backoff
+	if fs.policy.MaxAge > 0 && when-gen > fs.policy.MaxAge {
+		fs.lostTimeout++
+		return
+	}
+	fs.seq++
+	fs.heapPush(retryEvent{when: when, seq: fs.seq, ep: ep, dst: dst, gen: gen, retries: retries + 1})
+	fs.retried++
+}
+
+// injectRetries re-injects every retry due at cycle t as a pending
+// injection on its source router's shard, with a fresh route-RNG seed
+// from the descending retry counter (so retried packets re-draw their
+// path — typically landing on the repaired table or an escape path).
+func (e *Engine) injectRetries(t int64) {
+	fs := e.fs
+	for len(fs.retryHeap) > 0 && fs.retryHeap[0].when <= t {
+		ev := fs.heapPop()
+		sh := e.shards[e.routerShard[e.cfg.RouterOf(int(ev.ep))]]
+		sh.pending = append(sh.pending, pendingInj{
+			ep: ev.ep, dst: ev.dst, ctr: fs.retryCtr, gen: ev.gen, retries: ev.retries,
+		})
+		fs.retryCtr--
+	}
+}
+
+// retryLess orders the retry heap by (when, seq): re-injections happen in
+// schedule order within a cycle, independent of worker count.
+func retryLess(a, b retryEvent) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (fs *faultState) heapPush(ev retryEvent) {
+	h := append(fs.retryHeap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !retryLess(h[i], h[parent]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	fs.retryHeap = h
+}
+
+func (fs *faultState) heapPop() retryEvent {
+	h := fs.retryHeap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && retryLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && retryLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	fs.retryHeap = h
+	return top
+}
+
+// watchdog ends the run early once nothing can make progress anymore: no
+// packet delivered, lost or injected for well over a full
+// backoff-plus-pipeline interval, with no future generation, retries or
+// plan events pending. Whatever is still queued at that point is wedged
+// (a disconnected network with exhausted retries) and counts as
+// stranded — the run returns partial metrics instead of spinning through
+// the remaining drain cycles.
+func (e *Engine) watchdog(t int64) {
+	fs := e.fs
+	progress := e.pktCtr + fs.retried + fs.lostRetries + fs.lostTimeout + fs.droppedInFlight
+	for _, sh := range e.shards {
+		progress += sh.deliveredAll + sh.lostPkts
+	}
+	if progress != fs.lastProgress || len(e.genHeap) > 0 || len(fs.retryHeap) > 0 || fs.next < len(fs.plan.Events) {
+		fs.lastProgress = progress
+		fs.stuck = 0
+		return
+	}
+	fs.stuck++
+	if fs.stuck > int64(e.ringLen)+fs.policy.BackoffCap+64 {
+		fs.finishStranded(t)
+	}
+}
+
+// finishStranded counts every packet still sitting in a queue or mail
+// ring as lost-stranded and marks the run done; Run exits its cycle loop
+// at the end of this cycle.
+func (fs *faultState) finishStranded(t int64) {
+	e := fs.e
+	for i := range e.queues {
+		fs.lostStranded += int64(e.queues[i].len())
+	}
+	for i := range e.mail {
+		fs.lostStranded += int64(len(e.mail[i]))
+	}
+	fs.done = true
+	fs.doneAt = t
+}

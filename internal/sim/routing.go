@@ -6,17 +6,45 @@ import (
 	"polarstar/internal/route"
 )
 
+// LiveFn reports whether the directed link u→v is currently usable; the
+// fault-injection state installs one on every shard's routing clone so
+// MIN/UGAL consult link liveness. nil means the network is healthy.
+type LiveFn func(u, v int) bool
+
+// pathLive reports whether every hop of a vertex path is live (trivially
+// true for a nil LiveFn).
+func pathLive(path []int, live LiveFn) bool {
+	if live == nil {
+		return true
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !live(path[i], path[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Min adapts a minimal routing engine to the simulator (§9.3 "MIN").
 type Min struct {
 	Engine route.Engine
 	// Hops bounds minimal path lengths (diameter; 4 for the indirect
 	// fat-tree/Megafly leaf-to-leaf paths).
 	Hops int
+	// Live, when set, invalidates paths crossing failed links: Path
+	// returns buf unchanged so the engine's fault fallbacks (repaired
+	// table, escape paths) take over. RNG consumption is unaffected.
+	Live LiveFn
 }
 
 // Path implements Routing.
 func (m Min) Path(buf []int, src, dst int, _ OccFn, rng *rand.Rand) []int {
-	return m.Engine.AppendPath(buf, src, dst, rng)
+	n0 := len(buf)
+	buf = m.Engine.AppendPath(buf, src, dst, rng)
+	if m.Live != nil && !pathLive(buf[n0:], m.Live) {
+		return buf[:n0]
+	}
+	return buf
 }
 
 // MaxHops implements Routing.
@@ -49,6 +77,11 @@ type UGAL struct {
 	Hops    int   // max hops of a Valiant path (2× minimal diameter)
 	PktSize int   // flits per packet, for the zero-queue tie-break
 	Global  bool  // UGAL-G: score with the max queue along the path
+	// Live, when set, makes path selection liveness-aware: a live
+	// candidate always beats a dead incumbent regardless of score, and
+	// Path returns buf unchanged when every candidate crosses a failed
+	// link. RNG consumption is identical with or without Live set.
+	Live LiveFn
 
 	bufA, bufB []int // incumbent / candidate scratch
 }
@@ -61,6 +94,10 @@ func (u *UGAL) Path(buf []int, src, dst int, occ OccFn, rng *rand.Rand) []int {
 	best := u.Min.AppendPath(u.bufA[:0], src, dst, rng)
 	u.bufA = best
 	bestScore := u.score(best, occ)
+	// An empty (unroutable-minimal) incumbent counts as live: candidates
+	// then compete on score exactly as without Live, and the engine's
+	// detour fallbacks handle the empty result.
+	bestLive := pathLive(best, u.Live)
 	for s := 0; s < u.Samples; s++ {
 		var mid int
 		if u.Mids != nil {
@@ -81,10 +118,22 @@ func (u *UGAL) Path(buf []int, src, dst int, occ OccFn, rng *rand.Rand) []int {
 		// Drop the duplicated joint (cand[n1] repeats mid == cand[n1-1]).
 		copy(cand[n1:], cand[n1+1:])
 		cand = cand[:len(cand)-1]
+		candLive := pathLive(cand, u.Live)
+		if candLive != bestLive {
+			if !candLive {
+				continue // never trade a live incumbent for a dead candidate
+			}
+			best, bestScore, bestLive = cand, u.score(cand, occ), true
+			u.bufA, u.bufB = u.bufB, u.bufA
+			continue
+		}
 		if sc := u.score(cand, occ); sc < bestScore {
 			best, bestScore = cand, sc
 			u.bufA, u.bufB = u.bufB, u.bufA
 		}
+	}
+	if u.Live != nil && !bestLive {
+		return buf // every candidate crosses a failed link
 	}
 	return append(buf, best...)
 }

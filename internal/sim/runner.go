@@ -125,6 +125,10 @@ func SweepObs(spec *Spec, mode RoutingMode, patternName string, loads []float64,
 					fail(err)
 					return
 				}
+				if err := CheckReachable(spec.Graph, spec.Config(), pattern); err != nil {
+					fail(err)
+					return
+				}
 				var routing Routing
 				switch mode {
 				case UGALMode:

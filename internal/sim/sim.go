@@ -69,6 +69,17 @@ type Params struct {
 	// counters into Metrics.Series every MetricsInterval cycles (sampled
 	// in the serial commit phase, so rows are worker-count independent).
 	MetricsInterval int
+
+	// Plan, when non-nil and non-empty, injects live faults during the
+	// run: scripted link/router failures (and repairs) applied at their
+	// cycles, with fault-aware re-routing, source retries under Retry,
+	// and a no-progress watchdog (see faultstate.go). A nil or empty plan
+	// leaves the healthy fast path untouched — results are bit-identical
+	// to an engine built without the field.
+	Plan *Plan
+	// Retry bounds the source-retry behavior under Plan; the zero value
+	// selects DefaultRetryPolicy. Ignored without an active plan.
+	Retry RetryPolicy
 }
 
 // DefaultParams mirrors the §9.4 configuration.
@@ -114,6 +125,8 @@ type packet struct {
 	hop     int8                    // channels already traversed; ejects at hop == nHops
 	gen     int64
 	dstEP   int32
+	srcEP   int32 // source endpoint: the re-injection point under faults
+	retries uint8 // source retries already consumed (faults only)
 	measure bool
 }
 
@@ -153,6 +166,11 @@ type pendingInj struct {
 	ep  int32 // source endpoint
 	dst int32 // destination endpoint
 	ctr int64 // global injection counter: seeds the per-packet route RNG
+	// gen is the cycle the packet was first generated (== the current
+	// cycle for fresh packets; the original cycle for retries, so latency
+	// and the age timeout span the whole delivery attempt).
+	gen     int64
+	retries uint8 // source retries already consumed (faults only)
 }
 
 // Engine is one simulator instance bound to a topology, routing and
@@ -230,6 +248,12 @@ type Engine struct {
 	metInterval int64
 	occHWM      obs.ChannelHWM
 
+	// fs is the live fault-injection state, non-nil only when Params.Plan
+	// carries events. Every fault hook on the hot path is gated on it, so
+	// plan-less runs take the identical (and allocation-free) code path
+	// they always did.
+	fs *faultState
+
 	pool workerPool
 }
 
@@ -248,6 +272,15 @@ type shardState struct {
 	rng     *rand.Rand
 	pathBuf []int
 	occFn   OccFn
+
+	// Fault-mode journals/scratch (untouched when the engine has no plan).
+	retryQ []retryReq // source retries requested during this shard's phases
+	escBuf []int      // detour path scratch
+
+	// lostPkts counts packets lost at routing time (unroutable or
+	// over-budget paths). Unlike the met counters it is always on: Result
+	// reports losses even for unobserved runs.
+	lostPkts int64
 
 	// Metrics, merged in shard order after the run.
 	deliveredAll   int64
@@ -297,6 +330,12 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 	}
 	if e.vcs < 1 {
 		e.vcs = 1
+	}
+	planActive := !params.Plan.Empty()
+	if planActive && e.vcs < MaxPathNodes {
+		// Detour paths (repaired-table or spanning-tree escape) may use up
+		// to MaxPathNodes-1 links; the VC ladder must cover them.
+		e.vcs = MaxPathNodes
 	}
 	e.workers = params.Workers
 	if e.workers < 1 {
@@ -354,6 +393,9 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 	}
 	if params.Metrics != nil {
 		e.initMetrics(params)
+	}
+	if planActive {
+		e.initFaults(params)
 	}
 	e.pool.start(e)
 	return e
@@ -425,6 +467,12 @@ func (e *Engine) Run(load float64) Result {
 	e.initGeneration(load / float64(e.p.PacketFlits))
 	for t := int64(0); t < total; t++ {
 		e.stepCycle(t)
+		if e.fs != nil && e.fs.done {
+			// The watchdog declared the run wedged: everything still queued
+			// is counted stranded; skip the remaining drain cycles.
+			total = t + 1
+			break
+		}
 	}
 	e.now = total
 	e.pool.stop()
@@ -451,10 +499,18 @@ func (e *Engine) Run(load float64) Result {
 func (e *Engine) stepCycle(t int64) {
 	e.now = t
 	e.measuring = t >= int64(e.p.Warmup) && t < int64(e.p.Warmup+e.p.Measure)
+	if e.fs != nil {
+		e.applyFaults(t)
+		e.injectRetries(t)
+	}
 	e.generate(t)
 	e.pool.run(phaseRoute)
 	e.pool.run(phaseArbitrate)
 	e.commit(t)
+	if e.fs != nil {
+		e.collectRetries(t)
+		e.watchdog(t)
+	}
 }
 
 // commit applies the per-shard credit-release journals in fixed shard
@@ -588,7 +644,7 @@ func (e *Engine) generate(t int64) {
 			e.generatedMeas++
 		}
 		sh := e.shards[e.routerShard[e.cfg.RouterOf(ep)]]
-		sh.pending = append(sh.pending, pendingInj{ep: int32(ep), dst: int32(dst), ctr: e.pktCtr})
+		sh.pending = append(sh.pending, pendingInj{ep: int32(ep), dst: int32(dst), ctr: e.pktCtr, gen: t})
 		e.pktCtr++
 	}
 }
@@ -602,19 +658,33 @@ func (e *Engine) routeShard(sh *shardState) {
 	for _, pi := range sh.pending {
 		srcR, dstR := e.cfg.RouterOf(int(pi.ep)), e.cfg.RouterOf(int(pi.dst))
 		var pkt packet
-		pkt.gen = e.now
+		pkt.gen = pi.gen
 		pkt.dstEP = pi.dst
-		pkt.measure = e.measuring
+		pkt.srcEP = pi.ep
+		pkt.retries = pi.retries
+		pkt.measure = pi.gen >= int64(e.p.Warmup) && pi.gen < int64(e.p.Warmup+e.p.Measure)
 		if srcR != dstR {
 			sh.rngSrc.seed(e.p.Seed, pi.ctr)
 			sh.pathBuf = sh.routing.Path(sh.pathBuf[:0], srcR, dstR, sh.occFn, sh.rng)
 			path := sh.pathBuf
+			if e.fs != nil {
+				// Fault mode: validate the path against current liveness,
+				// fall back to the repaired table or a spanning-tree escape
+				// path, and source-retry what cannot be routed right now.
+				detour, ok := e.fs.detour(sh, srcR, dstR, path)
+				if !ok {
+					sh.retryQ = append(sh.retryQ, retryReq{ep: pi.ep, dst: pi.dst, gen: pi.gen, retries: pi.retries})
+					continue
+				}
+				path = detour
+			}
 			if len(path) == 0 || len(path) > MaxPathNodes {
 				// Unroutable, or beyond the simulator's path/VC budget
 				// (deeply degraded topologies stretch paths arbitrarily;
 				// a path longer than the VC ladder is undeliverable
 				// deadlock-free): the packet is lost. It still counted
 				// as generated, so DeliveredFrac reflects the loss.
+				sh.lostPkts++
 				if sh.met != nil {
 					sh.met.lost++
 				}
@@ -717,6 +787,14 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 	if pkt.hop == pkt.nHops {
 		// Ejection to the destination endpoint.
 		ep := pkt.dstEP
+		if e.fs != nil && e.fs.deadRouter[e.cfg.RouterOf(int(ep))] {
+			// The destination router died under the packet: drop it here,
+			// release this buffer's credit, and source-retry.
+			e.fs.retryFrom(sh, pkt)
+			e.release(sh, unit)
+			q.pop()
+			return
+		}
 		if e.ejBusy[ep] > e.now {
 			if sh.met != nil {
 				sh.met.stallEject++
@@ -730,6 +808,16 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 		return
 	}
 	c := pkt.chans[pkt.hop]
+	if e.fs != nil && e.fs.deadChan[c] {
+		// The next link of the packet's path is down: the packet is
+		// dropped from this buffer (credit released at commit, preserving
+		// the reclaim invariant) and source-retried — the retry re-routes
+		// around the failure.
+		e.fs.retryFrom(sh, pkt)
+		e.release(sh, unit)
+		q.pop()
+		return
+	}
 	if e.busy[c] > e.now {
 		if sh.met != nil {
 			sh.met.stallBusy++
@@ -823,6 +911,14 @@ type Result struct {
 	Backlog          int     // packets still queued at the horizon
 	BacklogAtMeasEnd int     // packets queued when measurement ended
 	Saturated        bool
+
+	// Fault accounting. Lost is always filled (unroutable packets occur
+	// on statically degraded topologies too); Dropped/Retried/
+	// TerminatedEarly are nonzero only under an active fault plan.
+	Lost            int64 // packets lost for good (unroutable, retry budget, age timeout, stranded)
+	Dropped         int64 // packets dropped in flight on a dying link (then retried)
+	Retried         int64 // source retries performed
+	TerminatedEarly bool  // the no-progress watchdog ended the run before the horizon
 }
 
 func (e *Engine) result(load float64) Result {
@@ -848,6 +944,15 @@ func (e *Engine) result(load float64) Result {
 		res.Backlog += e.queues[i].len()
 	}
 	res.BacklogAtMeasEnd = e.backlogMeasEnd
+	for _, sh := range e.shards {
+		res.Lost += sh.lostPkts
+	}
+	if e.fs != nil {
+		res.Lost += e.fs.lostRetries + e.fs.lostTimeout + e.fs.lostStranded
+		res.Dropped = e.fs.droppedInFlight
+		res.Retried = e.fs.retried
+		res.TerminatedEarly = e.fs.done
+	}
 	// Saturation: measured packets left undelivered, or source queues
 	// holding several packets per endpoint on average when measurement
 	// ended — offered load exceeding accepted load. (A backlog of a
@@ -886,4 +991,17 @@ func (e *Engine) finishMetrics(res Result) {
 	m.Throughput = res.Throughput
 	m.DeliveredFrac = res.DeliveredFrac
 	m.Saturated = res.Saturated
+	if fs := e.fs; fs != nil {
+		m.Faults = &obs.SimFaults{
+			PlanEvents:      int64(len(fs.plan.Events)),
+			EventsApplied:   fs.eventsApplied,
+			DroppedInFlight: obs.Counter(fs.droppedInFlight),
+			Retries:         obs.Counter(fs.retried),
+			LostRetryBudget: obs.Counter(fs.lostRetries),
+			LostTimeout:     obs.Counter(fs.lostTimeout),
+			LostStranded:    obs.Counter(fs.lostStranded),
+			TerminatedEarly: fs.done,
+			TerminatedAt:    fs.doneAt,
+		}
+	}
 }

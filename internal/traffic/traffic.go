@@ -52,6 +52,17 @@ type Pattern interface {
 	Dest(src int, rng *rand.Rand) int
 }
 
+// FixedPattern is implemented by patterns whose source→destination map is
+// fixed for the whole run (everything except Uniform). The simulator uses
+// it to pre-validate reachability of every pair the pattern will address,
+// failing fast instead of injecting packets that can never drain.
+type FixedPattern interface {
+	Pattern
+	// FixedDest returns the destination endpoint src will always send to,
+	// or -1 when src stays idle.
+	FixedDest(src int) int
+}
+
 // Uniform is uniform-random traffic: every packet picks an independent
 // uniformly random destination endpoint other than the source.
 type Uniform struct{ C Config }
@@ -110,6 +121,9 @@ func (p *Permutation) Dest(src int, _ *rand.Rand) int {
 	return p.perm[h]*p.C.PerRouter + l
 }
 
+// FixedDest implements FixedPattern.
+func (p *Permutation) FixedDest(src int) int { return p.Dest(src, nil) }
+
 // bitPattern is the shared machinery of BitShuffle and BitReverse: the
 // pattern runs on the largest power-of-two block of endpoints (§9.4);
 // endpoints beyond 2^b stay idle.
@@ -150,6 +164,9 @@ func (s *BitShuffle) Dest(src int, _ *rand.Rand) int {
 	return d
 }
 
+// FixedDest implements FixedPattern.
+func (s *BitShuffle) FixedDest(src int) int { return s.Dest(src, nil) }
+
 // BitReverse reverses the endpoint address bits: d_i = s_{b-i-1}.
 type BitReverse struct{ bitPattern }
 
@@ -173,6 +190,9 @@ func (r *BitReverse) Dest(src int, _ *rand.Rand) int {
 	}
 	return d
 }
+
+// FixedDest implements FixedPattern.
+func (r *BitReverse) FixedDest(src int) int { return r.Dest(src, nil) }
 
 // Adversarial is the §9.6 worst-case pattern for hierarchical topologies:
 // all endpoints of a group transmit only to endpoints of one paired
@@ -229,6 +249,9 @@ func (a *Adversarial) Name() string { return "adversarial" }
 
 // Dest implements Pattern.
 func (a *Adversarial) Dest(src int, _ *rand.Rand) int { return a.dest[src] }
+
+// FixedDest implements FixedPattern.
+func (a *Adversarial) FixedDest(src int) int { return a.dest[src] }
 
 // ByName constructs a standard pattern by name (used by cmd/pssim).
 func ByName(name string, c Config, numGroups int, groupOf GroupOfFn, dist DistFn, seed int64) (Pattern, error) {

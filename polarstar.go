@@ -300,6 +300,27 @@ type FaultTrafficPoint = faults.TrafficPoint
 // topologies (the dynamic complement of the structural §11.2 sweep).
 var FaultTrafficSweep = faults.TrafficSweep
 
+// LiveFaultPlan scripts link/router failures (and repairs) that the
+// cycle-level simulator injects mid-run; assign one to SimParams.Plan.
+type LiveFaultPlan = faults.Plan
+
+// LiveFaultEvent is one scripted topology change in a LiveFaultPlan.
+type LiveFaultEvent = faults.FaultEvent
+
+// FaultRetryPolicy bounds source retries for packets that hit live
+// faults; the zero value selects DefaultFaultRetryPolicy.
+type FaultRetryPolicy = faults.RetryPolicy
+
+// Live fault-plan constructors.
+var (
+	// ParseFaultPlan reads a scripted plan ("<cycle> link-down <u> <v>" lines).
+	ParseFaultPlan = faults.ParsePlan
+	// RandomFaultPlan draws failures with the given mean cycles between them.
+	RandomFaultPlan = faults.RandomPlan
+	// DefaultFaultRetryPolicy is the simulator's standard retry bound.
+	DefaultFaultRetryPolicy = faults.DefaultRetryPolicy
+)
+
 // ---------------------------------------------------------------------
 // Path diversity and in-network collectives (extensions).
 
