@@ -1,0 +1,118 @@
+// psbench records the simulator's machine-readable benchmark trajectory:
+// it runs a fixed latency-load sweep workload per spec and writes wall
+// time, simulated cycles/sec and allocated bytes per generated packet as
+// BENCH_sim.json — the datapoint CI's bench-smoke job regenerates so
+// engine-performance regressions show up as a diffable number, not a
+// feeling. Committed snapshots live in results/perf/.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"polarstar/internal/obs"
+	"polarstar/internal/sim"
+)
+
+// benchEntry is one (spec, routing) sweep measurement.
+type benchEntry struct {
+	Spec          string    `json:"spec"`
+	Routing       string    `json:"routing"`
+	Loads         []float64 `json:"loads"`
+	CyclesPerRun  int       `json:"cycles_per_run"`
+	WallSeconds   float64   `json:"wall_seconds"`
+	Cycles        int64     `json:"cycles"`         // simulated cycles, summed over load points
+	CyclesPerSec  float64   `json:"cycles_per_sec"` // simulated cycles per wall second
+	Packets       int64     `json:"packets"`        // packets generated across the sweep
+	BytesPerPkt   float64   `json:"bytes_per_packet"`
+	PacketsPerSec float64   `json:"packets_per_sec"`
+}
+
+type benchFile struct {
+	Tool    string       `json:"tool"`
+	Go      string       `json:"go"`
+	Arch    string       `json:"arch"`
+	Workers int          `json:"workers"`
+	Entries []benchEntry `json:"entries"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_sim.json", "output JSON path (- for stdout)")
+		workers = flag.Int("workers", 1, "sim engine shard workers per run")
+		seed    = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	cases := []struct {
+		spec string
+		mode sim.RoutingMode
+	}{
+		{"ps-iq-small", sim.MIN},
+		{"ps-iq-small", sim.UGALMode},
+		{"hx-small", sim.UGALMode},
+	}
+	loads := []float64{0.1, 0.3, 0.5}
+	bf := benchFile{Tool: "psbench", Go: runtime.Version(), Arch: runtime.GOARCH, Workers: *workers}
+
+	for _, c := range cases {
+		spec := sim.MustNewSpec(c.spec)
+		p := sim.DefaultParams(*seed)
+		p.Warmup, p.Measure, p.Drain = 500, 1000, 1500
+		p.Workers = *workers
+		sm := obs.NewSimSweep(c.spec, c.mode.String(), "uniform", len(loads))
+
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if _, err := sim.SweepObs(spec, c.mode, "uniform", loads, p, sm); err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+
+		perRun := p.Warmup + p.Measure + p.Drain
+		var packets int64
+		for _, pt := range sm.Points {
+			packets += int64(pt.Generated)
+		}
+		cycles := int64(perRun) * int64(len(loads))
+		e := benchEntry{
+			Spec:         c.spec,
+			Routing:      c.mode.String(),
+			Loads:        loads,
+			CyclesPerRun: perRun,
+			WallSeconds:  wall,
+			Cycles:       cycles,
+			CyclesPerSec: float64(cycles) / wall,
+			Packets:      packets,
+		}
+		if packets > 0 {
+			e.BytesPerPkt = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(packets)
+			e.PacketsPerSec = float64(packets) / wall
+		}
+		bf.Entries = append(bf.Entries, e)
+	}
+
+	enc, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("psbench: wrote %s (%d entries)\n", *out, len(bf.Entries))
+}

@@ -32,7 +32,15 @@ type Graph struct {
 	loops  []bool  // loops[v]: v carries a self-loop annotation
 	nEdges int     // number of undirected non-loop edges
 	nLoops int
+	adj    []uint64 // n×n adjacency bitmap for small graphs (nil above adjBitmapMax)
 }
+
+// adjBitmapMax bounds the vertex count up to which Build materializes the
+// n×n adjacency bitmap behind O(1) HasEdge: 2048² bits = 512 KB. Routing
+// case analyses hammer HasEdge on small structure/supernode graphs and on
+// the paper-scale networks (≤ ~1100 routers); huge generated graphs fall
+// back to the CSR binary search.
+const adjBitmapMax = 2048
 
 // Builder accumulates edges and produces an immutable Graph.
 type Builder struct {
@@ -111,7 +119,7 @@ func (b *Builder) Build() *Graph {
 			nLoops++
 		}
 	}
-	return &Graph{
+	g := &Graph{
 		name:   b.name,
 		n:      b.n,
 		off:    off,
@@ -119,6 +127,24 @@ func (b *Builder) Build() *Graph {
 		loops:  b.loops,
 		nEdges: len(b.edges),
 		nLoops: nLoops,
+	}
+	g.buildAdjBitmap()
+	return g
+}
+
+// buildAdjBitmap fills the O(1) HasEdge bitmap from the CSR (loops are
+// excluded, matching HasEdge semantics) when the graph is small enough.
+func (g *Graph) buildAdjBitmap() {
+	if g.n == 0 || g.n > adjBitmapMax {
+		return
+	}
+	g.adj = make([]uint64, (g.n*g.n+63)/64)
+	for u := 0; u < g.n; u++ {
+		base := u * g.n
+		for _, v := range g.Neighbors(u) {
+			bit := base + int(v)
+			g.adj[bit>>6] |= 1 << (bit & 63)
+		}
 	}
 }
 
@@ -177,6 +203,10 @@ func (g *Graph) ChannelTo(c int) int { return int(g.nbr[c]) }
 
 // HasEdge reports whether {u,v} is an edge (loops excluded).
 func (g *Graph) HasEdge(u, v int) bool {
+	if g.adj != nil {
+		bit := u*g.n + v
+		return g.adj[bit>>6]&(1<<(bit&63)) != 0
+	}
 	if u == v {
 		return false
 	}

@@ -67,6 +67,9 @@ func offRouterEdge(t *testing.T, spec *Spec, r int) [2]int {
 // link coming back — produces a bit-identical Result for any worker
 // count, for both routing modes.
 func TestFaultDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker fault-determinism sweep; full run in the CI race job")
+	}
 	spec := MustNewSpec("ps-iq-small")
 	const deadRouter = 3
 	e := offRouterEdge(t, spec, deadRouter)
@@ -100,6 +103,9 @@ func TestFaultDeterminismAcrossWorkers(t *testing.T) {
 // no-progress watchdog with partial delivered/dropped/lost accounting —
 // identically at every worker count.
 func TestFaultDisconnectDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker fault-determinism sweep; full run in the CI race job")
+	}
 	plan := &Plan{Events: []FaultEvent{{Cycle: 50, Kind: RouterDown, U: 3}}}
 	retry := RetryPolicy{MaxRetries: 3, BackoffBase: 4, BackoffCap: 64, MaxAge: 1500}
 	ref := faultRun(t, MIN, plan, retry, 1)

@@ -266,9 +266,11 @@ func (fs *faultState) refreshLiveness() {
 // dropInFlight drops every packet in flight toward a now-dead channel:
 // the grant reserved S flits of that channel's downstream buffer, so the
 // reclaim decrements occ/occSum by exactly S per packet (the
-// credit-reclaim invariant), and the packet is source-retried.
+// credit-reclaim invariant), and the packet is source-retried. Serial, so
+// the freed slab ids go straight back to the global free stack.
 func (fs *faultState) dropInFlight(t int64) {
 	e := fs.e
+	st := &e.pkts
 	S := int32(e.p.PacketFlits)
 	vcs := int32(e.vcs)
 	for i := range e.mail {
@@ -279,12 +281,15 @@ func (fs *faultState) dropInFlight(t int64) {
 		kept := box[:0]
 		for j := range box {
 			a := box[j]
-			c := a.unit / vcs
+			credit := e.unitCredit[a.unit]
+			c := credit / vcs
 			if fs.deadChan[c] {
-				e.occ[a.unit] -= S
+				e.occ[credit] -= S
 				e.occSum[c] -= S
 				fs.droppedInFlight++
-				fs.scheduleRetry(t, a.pkt.srcEP, a.pkt.dstEP, a.pkt.gen, a.pkt.retries)
+				e.mailDropped++
+				fs.scheduleRetry(t, st.srcEP[a.id], st.dstEP[a.id], st.gen[a.id], st.retries[a.id])
+				st.free = append(st.free, a.id)
 				continue
 			}
 			kept = append(kept, a)
@@ -320,8 +325,9 @@ func (fs *faultState) detour(sh *shardState, src, dst int, path []int) ([]int, b
 // retryFrom journals a source retry for a packet dropped during
 // arbitration (dead channel ahead, or destination router down). The
 // journal is per shard; collectRetries serializes it.
-func (fs *faultState) retryFrom(sh *shardState, pkt *packet) {
-	sh.retryQ = append(sh.retryQ, retryReq{ep: pkt.srcEP, dst: pkt.dstEP, gen: pkt.gen, retries: pkt.retries})
+func (fs *faultState) retryFrom(sh *shardState, id int32) {
+	st := &fs.e.pkts
+	sh.retryQ = append(sh.retryQ, retryReq{ep: st.srcEP[id], dst: st.dstEP[id], gen: st.gen[id], retries: st.retries[id]})
 }
 
 // collectRetries drains the per-shard retry journals in fixed shard
@@ -442,9 +448,16 @@ func (e *Engine) watchdog(t int64) {
 		return
 	}
 	fs.stuck++
-	if fs.stuck > int64(e.ringLen)+fs.policy.BackoffCap+64 {
+	if fs.stuck > fs.watchdogLimit() {
 		fs.finishStranded(t)
 	}
+}
+
+// watchdogLimit is the stuck-cycle threshold: well over a full
+// backoff-plus-pipeline interval. The event-horizon advance emulates the
+// watchdog against the same limit when it skips idle cycles.
+func (fs *faultState) watchdogLimit() int64 {
+	return int64(fs.e.ringLen) + fs.policy.BackoffCap + 64
 }
 
 // finishStranded counts every packet still sitting in a queue or mail

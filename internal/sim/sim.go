@@ -21,9 +21,15 @@
 // discipline as graph.BitBFSBatch: fixed merge order, integer
 // aggregation. See DESIGN.md §7 for the semantics and the
 // deadlock-equivalence argument.
+//
+// Packet state lives in a structure-of-arrays slab (store.go) and cycles
+// with no possible work are skipped outright by the event-horizon
+// advance (horizon.go); DESIGN.md §10 argues why neither can change a
+// single Result bit.
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -41,6 +47,16 @@ const MaxPathNodes = 12
 // applied in shard order, so the shard partition — not the workers that
 // happen to process it — defines the results.
 const numShards = 16
+
+// Generation-calendar packing (cycle<<epBits | endpoint). epBits caps the
+// endpoint count; the cycle field gets the remaining 39 value bits of an
+// int64 (one bit stays as sign headroom). NewEngine rejects
+// configurations outside either range instead of corrupting the heap.
+const (
+	epBits      = 24
+	maxEndpoint = 1 << epBits
+	maxCycle    = int64(1) << 39
+)
 
 // Params configures a simulation run.
 type Params struct {
@@ -116,46 +132,11 @@ type Routing interface {
 // over VCs).
 type OccFn func(u, v int) int
 
-// packet stores its remaining route as the dense channel ids of its hops
-// (resolved once at injection), so arbitration retries never repeat the
-// neighbor search ChannelID performs.
-type packet struct {
-	chans   [MaxPathNodes - 1]int32 // channel id of hop i (path[i]→path[i+1])
-	nHops   int8                    // channels on the path; 0 = source == destination router
-	hop     int8                    // channels already traversed; ejects at hop == nHops
-	gen     int64
-	dstEP   int32
-	srcEP   int32 // source endpoint: the re-injection point under faults
-	retries uint8 // source retries already consumed (faults only)
-	measure bool
-}
-
-type pktQueue struct {
-	buf  []packet
-	head int
-}
-
-func (q *pktQueue) empty() bool    { return q.head >= len(q.buf) }
-func (q *pktQueue) len() int       { return len(q.buf) - q.head }
-func (q *pktQueue) front() *packet { return &q.buf[q.head] }
-
-func (q *pktQueue) push(p packet) { q.buf = append(q.buf, p) }
-
-// pop compacts whenever the dead prefix reaches half the buffer: each
-// element is copied at most once per residence on average (amortized O(1))
-// and the buffer's high-water capacity stays ~2× the live occupancy, so
-// queues reach a steady state where push never reallocates.
-func (q *pktQueue) pop() {
-	q.head++
-	if q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
-	}
-}
-
+// inflight is one packet traversing a link through the mail rings: the
+// slab id plus the destination queue unit. 8 bytes — the whole cross-
+// shard handoff.
 type inflight struct {
-	pkt  packet
+	id   int32 // packet id into Engine.pkts
 	unit int32 // destination queue unit
 }
 
@@ -184,13 +165,18 @@ type Engine struct {
 	vcs     int
 	workers int
 
+	// pkts is the structure-of-arrays packet slab; every queue and mail
+	// ring below holds int32 ids into it. See store.go for the id
+	// lifecycle and its serial-section free-list discipline.
+	pkts pktStore
+
 	// Channels are the graph's dense directed-channel ids: channel
 	// graph.FirstChannel(r)+k is r → its k-th neighbor. All per-channel
 	// state is written only by the channel's source router during
 	// arbitration (occ decrements are journaled to commit), which is what
 	// makes the arbitration phase race-free.
 	busy   []int64 // channel id -> busy-until cycle
-	occ    []int32 // (channel id * vcs + vc) -> queued+reserved flits
+	occ    []int32 // credit index (channel id * vcs + vc) -> queued+reserved flits
 	occSum []int32 // channel id -> occ summed over VCs (Occupancy fast path)
 
 	// chanIdx densifies ChannelID: (u*n+v) -> channel id or -1. Path→
@@ -201,18 +187,42 @@ type Engine struct {
 	chanIdx []int32
 
 	// Queues ("units"): per channel per VC input queues at the channel's
-	// destination router, plus one injection queue per endpoint.
-	queues   []pktQueue
-	injBase  int     // unit id of endpoint 0's injection queue
-	unitHome []int32 // unit -> router owning the queue
+	// destination router, plus one injection queue per endpoint. Units
+	// are numbered router-major — each router's queues are contiguous and
+	// each shard's block is padded to a 64-unit boundary, so the inActive
+	// bitset below is word-disjoint across shards. Credit state stays
+	// channel-indexed; the unit maps translate between the two.
+	queues     []pktQueue
+	unitHome   []int32 // unit -> router owning the queue
+	unitCredit []int32 // unit -> credit index (channel*vcs+vc), -1 for injection queues
+	unitMinVC  []int8  // unit -> lowest VC the next hop may use (vc+1; 0 for injection)
+	unitEP     []int32 // unit -> endpoint of an injection queue, -1 for channel queues
+	chanUnit   []int32 // credit index -> queue unit
+	injUnit    []int32 // endpoint -> its injection-queue unit
 
 	// Per-router active unit lists with lazy deletion, and the per-shard
 	// active-router worklists above them: a cycle touches only routers
 	// with queued packets, not all N.
 	active      [][]int32
-	inActive    []bool // unit -> whether listed in active
+	inActive    bitset // unit -> whether listed in active (word-disjoint per shard)
 	routerShard []int8 // router -> owning shard (contiguous blocks)
 	inWorklist  []bool // router -> whether listed in its shard's worklist
+
+	// Wake-up scheduling (fastArb): a stalled forward attempt has no side
+	// effect beyond its stall counter, so with telemetry off (and no
+	// fault plan — both make stalls observable) the arbitration loop may
+	// skip a unit until the cycle its blocker can actually clear: the
+	// busy-until timestamp it stalled on, or — for credit stalls — the
+	// first commit that releases credit on its head packet's channel
+	// (tracked by an intrusive per-channel waiter list). Wakes are
+	// conservative, so grants happen at exactly the cycles they always
+	// did; results are bit-identical, but saturated sweeps stop paying
+	// for millions of predestined-to-fail attempts.
+	fastArb    bool
+	wake       []int64 // unit -> earliest cycle an attempt can succeed
+	routerWake []int64 // router -> min wake over its active units
+	waiterHead []int32 // channel -> first credit-waiting unit (-1: none)
+	waiterNext []int32 // unit -> next credit-waiting unit (-1: end)
 
 	ejBusy  []int64 // endpoint -> ejection-channel busy-until
 	injBusy []int64 // endpoint -> injection serialization
@@ -224,13 +234,20 @@ type Engine struct {
 	mail    [][]inflight
 	ringLen int
 
+	// mailDropped counts in-flight packets removed from the rings by the
+	// serial fault path; together with the per-shard mailOut/mailIn
+	// counters it lets the event-horizon check know whether any packet is
+	// still traversing a link without scanning the rings.
+	mailDropped int64
+	skipped     int64 // idle cycles the event-horizon advance never stepped
+
 	now       int64
 	rng       *rand.Rand // serial generation stream: calendar gaps + destinations
 	measuring bool       // current cycle inside the measurement window
 
 	shards [numShards]*shardState
 
-	// Generation calendar: a binary min-heap of (cycle<<24 | endpoint)
+	// Generation calendar: a binary min-heap of (cycle<<epBits | endpoint)
 	// events, equivalent to per-cycle Bernoulli draws but skipping idle
 	// endpoints (geometric gaps).
 	genHeap []int64
@@ -258,14 +275,27 @@ type Engine struct {
 }
 
 // shardState is the per-shard slice of the engine: the active-router
-// worklist, the injection/forward/release journals, the routing engine
-// clone with its scratch, and the metric accumulators. Every field is
-// touched only by the shard that owns it during the parallel phases;
-// journals are drained in fixed shard order.
+// worklist, the injection/forward/release journals, the packet-id
+// allocation cache and freed journal, the routing engine clone with its
+// scratch, and the metric accumulators. Every field is touched only by
+// the shard that owns it during the parallel phases; journals are
+// drained in fixed shard order.
 type shardState struct {
 	routers  []int32      // active-router worklist (lazy deletion via inWorklist)
 	pending  []pendingInj // packets generated this cycle on this shard's routers
-	releases []int32      // channel units whose credit frees at commit
+	releases []int32      // credit indices whose reservation frees at commit
+
+	// Packet-id slab interface: freeIDs is the allocation cache refilled
+	// serially before the routing phase; freed collects ids released
+	// during arbitration, drained serially at commit.
+	freeIDs []int32
+	freed   []int32
+
+	// mailOut/mailIn count packets this shard posted into / drained from
+	// the mail rings; their fixed-order serial sum is the in-flight count
+	// the event-horizon advance checks.
+	mailOut int64
+	mailIn  int64
 
 	routing Routing
 	rngSrc  splitmix
@@ -313,9 +343,20 @@ func (m *shardMetrics) stalls() int64 {
 }
 
 // NewEngine builds a simulator for graph g with the endpoint arrangement
-// described by cfg.
+// described by cfg. It panics with a descriptive error when the
+// configuration overflows the generation calendar's packed
+// (cycle<<epBits | endpoint) representation — a hard structural limit
+// that would otherwise corrupt results silently.
 func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routing, pattern traffic.Pattern) *Engine {
 	cfg.Routers = g.N()
+	if eps := cfg.Endpoints(); eps >= maxEndpoint {
+		panic(fmt.Sprintf("sim: %d endpoints overflow the generation calendar's %d-bit endpoint field (max %d); shrink PerRouter or the host set",
+			eps, epBits, maxEndpoint-1))
+	}
+	if total := int64(params.Warmup) + int64(params.Measure) + int64(params.Drain); total >= maxCycle {
+		panic(fmt.Sprintf("sim: %d total cycles overflow the generation calendar's packed cycle field (max %d)",
+			total, maxCycle-1))
+	}
 	// One VC per possible link index plus one spare: the spare gives the
 	// strictly-increasing VC allocator room to spread load. For MIN
 	// routing on a diameter-3 topology this is exactly the paper's 4 VCs.
@@ -361,25 +402,24 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 			}
 		}
 	}
-
-	numChanUnits := nChans * e.vcs
-	e.injBase = numChanUnits
-	e.queues = make([]pktQueue, numChanUnits+e.cfg.Endpoints())
-	e.unitHome = make([]int32, len(e.queues))
-	for c := 0; c < nChans; c++ {
-		for vc := 0; vc < e.vcs; vc++ {
-			e.unitHome[c*e.vcs+vc] = int32(g.ChannelTo(c))
-		}
-	}
-	for ep := 0; ep < e.cfg.Endpoints(); ep++ {
-		e.unitHome[e.injBase+ep] = int32(e.cfg.RouterOf(ep))
-	}
-	e.active = make([][]int32, n)
-	e.inActive = make([]bool, len(e.queues))
-	e.inWorklist = make([]bool, n)
 	e.routerShard = make([]int8, n)
 	for r := 0; r < n; r++ {
 		e.routerShard[r] = int8(r * numShards / n)
+	}
+	e.buildUnits()
+	e.active = make([][]int32, n)
+	e.inActive = newBitset(len(e.queues))
+	e.inWorklist = make([]bool, n)
+	e.fastArb = params.Metrics == nil && !planActive
+	e.wake = make([]int64, len(e.queues))
+	e.routerWake = make([]int64, n)
+	e.waiterHead = make([]int32, nChans)
+	e.waiterNext = make([]int32, len(e.queues))
+	for i := range e.waiterHead {
+		e.waiterHead[i] = -1
+	}
+	for i := range e.waiterNext {
+		e.waiterNext[i] = -1
 	}
 	e.ejBusy = make([]int64, e.cfg.Endpoints())
 	e.injBusy = make([]int64, e.cfg.Endpoints())
@@ -399,6 +439,93 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 	}
 	e.pool.start(e)
 	return e
+}
+
+// buildUnits lays out the queue units router-major: for each router (in
+// shard order — routerShard blocks are contiguous by construction) its
+// incoming channel×VC queues in ascending channel order, then its
+// endpoints' injection queues, with every shard's block padded to a
+// 64-unit boundary so the inActive bitset words are shard-disjoint. The
+// unitCredit/chanUnit maps tie the queues back to the channel-indexed
+// credit arrays (occ/occSum/busy), which keep their grant-side ownership.
+func (e *Engine) buildUnits() {
+	n := e.g.N()
+	nChans := e.g.NumChannels()
+	eps := e.cfg.Endpoints()
+
+	// Incoming channels per router, ascending channel id.
+	inOff := make([]int32, n+1)
+	for c := 0; c < nChans; c++ {
+		inOff[e.g.ChannelTo(c)+1]++
+	}
+	for r := 0; r < n; r++ {
+		inOff[r+1] += inOff[r]
+	}
+	inCh := make([]int32, nChans)
+	pos := make([]int32, n)
+	copy(pos, inOff[:n])
+	for c := 0; c < nChans; c++ {
+		r := e.g.ChannelTo(c)
+		inCh[pos[r]] = int32(c)
+		pos[r]++
+	}
+	// Endpoints per router, ascending endpoint id.
+	epOff := make([]int32, n+1)
+	for ep := 0; ep < eps; ep++ {
+		epOff[e.cfg.RouterOf(ep)+1]++
+	}
+	for r := 0; r < n; r++ {
+		epOff[r+1] += epOff[r]
+	}
+	epList := make([]int32, eps)
+	copy(pos, epOff[:n])
+	for ep := 0; ep < eps; ep++ {
+		r := e.cfg.RouterOf(ep)
+		epList[pos[r]] = int32(ep)
+		pos[r]++
+	}
+
+	maxUnits := nChans*e.vcs + eps + numShards*64
+	e.unitHome = make([]int32, maxUnits)
+	e.unitCredit = make([]int32, maxUnits)
+	e.unitMinVC = make([]int8, maxUnits)
+	e.unitEP = make([]int32, maxUnits)
+	e.chanUnit = make([]int32, nChans*e.vcs)
+	e.injUnit = make([]int32, eps)
+
+	next := int32(0)
+	for r := 0; r < n; r++ {
+		if r > 0 && e.routerShard[r] != e.routerShard[r-1] {
+			for ; next%64 != 0; next++ {
+				e.unitCredit[next] = -1
+				e.unitEP[next] = -1
+			}
+		}
+		for _, c := range inCh[inOff[r]:inOff[r+1]] {
+			for vc := 0; vc < e.vcs; vc++ {
+				credit := c*int32(e.vcs) + int32(vc)
+				e.chanUnit[credit] = next
+				e.unitCredit[next] = credit
+				e.unitMinVC[next] = int8(vc + 1)
+				e.unitEP[next] = -1
+				e.unitHome[next] = int32(r)
+				next++
+			}
+		}
+		for _, ep := range epList[epOff[r]:epOff[r+1]] {
+			e.injUnit[ep] = next
+			e.unitCredit[next] = -1
+			e.unitMinVC[next] = 0
+			e.unitEP[next] = ep
+			e.unitHome[next] = int32(r)
+			next++
+		}
+	}
+	e.unitHome = e.unitHome[:next]
+	e.unitCredit = e.unitCredit[:next]
+	e.unitMinVC = e.unitMinVC[:next]
+	e.unitEP = e.unitEP[:next]
+	e.queues = make([]pktQueue, next)
 }
 
 // initMetrics sizes the telemetry storage once, before the first cycle:
@@ -445,10 +572,13 @@ func (e *Engine) channelID(u, v int) int {
 // on the owning shard's worklist. Callers are always the owning shard
 // (or the serial sections), so no synchronization is needed.
 func (e *Engine) markActive(unit int32, sh *shardState) {
-	if !e.inActive[unit] {
-		e.inActive[unit] = true
+	if !e.inActive.get(unit) {
+		e.inActive.set(unit)
 		r := e.unitHome[unit]
 		e.active[r] = append(e.active[r], unit)
+		// A newly non-empty unit has a new head packet: attemptable now.
+		e.wake[unit] = 0
+		e.routerWake[r] = 0
 		if !e.inWorklist[r] {
 			e.inWorklist[r] = true
 			sh.routers = append(sh.routers, r)
@@ -473,6 +603,14 @@ func (e *Engine) Run(load float64) Result {
 			total = t + 1
 			break
 		}
+		if adv := e.horizonAdvance(t, total); adv > 0 {
+			t += adv
+			if e.fs != nil && e.fs.done {
+				// The emulated watchdog fired inside the idle stretch.
+				total = t + 1
+				break
+			}
+		}
 	}
 	e.now = total
 	e.pool.stop()
@@ -482,16 +620,18 @@ func (e *Engine) Run(load float64) Result {
 // stepCycle advances the simulation by one cycle:
 //
 //  1. generation (serial: the calendar and the traffic pattern share one
-//     RNG stream), queuing pending injections on their routers' shards;
+//     RNG stream), queuing pending injections on their routers' shards,
+//     then the serial refill of the per-shard packet-id caches;
 //  2. the routing phase (parallel over shards): each shard routes its
 //     pending packets with a per-packet-seeded RNG, resolves the path to
-//     channel ids, and enqueues them on its injection queues;
+//     channel ids into a freshly allocated slab id, and enqueues it on
+//     its injection queues;
 //  3. the arbitration phase (parallel over shards): each shard drains
 //     the packets other shards forwarded to it (in fixed shard order),
 //     then arbitrates its active routers, writing only router-owned
-//     state and journaling forwards and credit releases;
-//  4. commit (serial): journaled credit releases are applied in shard
-//     order, making them visible to the next cycle.
+//     state and journaling forwards, credit releases and freed ids;
+//  4. commit (serial): journaled credit releases and freed packet ids
+//     are applied in shard order, making them visible to the next cycle.
 //
 // In steady state (all queues, rings and scratch buffers at their
 // high-water capacity) a cycle performs zero heap allocations — see the
@@ -504,6 +644,7 @@ func (e *Engine) stepCycle(t int64) {
 		e.injectRetries(t)
 	}
 	e.generate(t)
+	e.refillIDs()
 	e.pool.run(phaseRoute)
 	e.pool.run(phaseArbitrate)
 	e.commit(t)
@@ -513,24 +654,62 @@ func (e *Engine) stepCycle(t int64) {
 	}
 }
 
-// commit applies the per-shard credit-release journals in fixed shard
-// order. Releases become visible only here — after every router has
-// arbitrated — which is what decouples the routers within a cycle.
+// refillIDs tops up every shard's packet-id allocation cache to cover
+// the injections it will route this cycle, growing the slab when the
+// global free stack runs dry. Serial, in fixed shard order — the only
+// place ids are handed out — so the allocator's behavior is a pure
+// function of the serial schedule.
+func (e *Engine) refillIDs() {
+	for _, sh := range e.shards {
+		need := len(sh.pending) - len(sh.freeIDs)
+		if need <= 0 {
+			continue
+		}
+		if len(e.pkts.free) < need {
+			e.pkts.grow(need - len(e.pkts.free))
+		}
+		n := len(e.pkts.free)
+		sh.freeIDs = append(sh.freeIDs, e.pkts.free[n-need:]...)
+		e.pkts.free = e.pkts.free[:n-need]
+	}
+}
+
+// commit applies the per-shard credit-release and freed-id journals in
+// fixed shard order. Releases become visible only here — after every
+// router has arbitrated — which is what decouples the routers within a
+// cycle.
 func (e *Engine) commit(t int64) {
 	S := int32(e.p.PacketFlits)
 	vcs := int32(e.vcs)
 	for _, sh := range e.shards {
-		for _, unit := range sh.releases {
-			e.occ[unit] -= S
-			e.occSum[unit/vcs] -= S
+		for _, credit := range sh.releases {
+			e.occ[credit] -= S
+			e.occSum[credit/vcs] -= S
+			if e.fastArb {
+				// Unpark every unit waiting on this channel's credits:
+				// they must re-attempt next cycle, exactly as the
+				// attempt-every-cycle engine would have.
+				for u := e.waiterHead[credit/vcs]; u >= 0; {
+					nxt := e.waiterNext[u]
+					e.waiterNext[u] = -1
+					e.wake[u] = t + 1
+					e.routerWake[e.unitHome[u]] = 0
+					u = nxt
+				}
+				e.waiterHead[credit/vcs] = -1
+			}
 		}
 		sh.releases = sh.releases[:0]
+		if len(sh.freed) > 0 {
+			e.pkts.free = append(e.pkts.free, sh.freed...)
+			sh.freed = sh.freed[:0]
+		}
 	}
 	if t == int64(e.p.Warmup+e.p.Measure)-1 {
 		// Source backlog only: packets still waiting in injection
 		// queues (in-flight packets are not backlog).
-		for i := e.injBase; i < len(e.queues); i++ {
-			e.backlogMeasEnd += e.queues[i].len()
+		for _, u := range e.injUnit {
+			e.backlogMeasEnd += e.queues[u].len()
 		}
 	}
 	if e.metInterval > 0 && (t+1)%e.metInterval == 0 {
@@ -554,7 +733,7 @@ func (e *Engine) sampleInterval(cycle int64) {
 }
 
 // heapPush/heapPop implement a binary min-heap over packed
-// (cycle<<24 | endpoint) events.
+// (cycle<<epBits | endpoint) events.
 func (e *Engine) heapPush(v int64) {
 	h := append(e.genHeap, v)
 	i := len(h) - 1
@@ -621,7 +800,7 @@ func (e *Engine) initGeneration(pktProb float64) {
 		e.logQ = math.Log(1 - pktProb)
 	}
 	for ep := 0; ep < e.cfg.Endpoints(); ep++ {
-		e.heapPush((e.geoGap()-1)<<24 | int64(ep))
+		e.heapPush((e.geoGap()-1)<<epBits | int64(ep))
 	}
 }
 
@@ -631,10 +810,10 @@ func (e *Engine) initGeneration(pktProb float64) {
 // parallel phase under a per-packet seed.
 func (e *Engine) generate(t int64) {
 	horizon := int64(e.p.Warmup + e.p.Measure)
-	for len(e.genHeap) > 0 && e.genHeap[0]>>24 <= t {
-		ep := int(e.heapPop() & 0xffffff)
+	for len(e.genHeap) > 0 && e.genHeap[0]>>epBits <= t {
+		ep := int(e.heapPop() & (maxEndpoint - 1))
 		if next := t + e.geoGap(); next < horizon {
-			e.heapPush(next<<24 | int64(ep))
+			e.heapPush(next<<epBits | int64(ep))
 		}
 		dst := e.pattern.Dest(ep, e.rng)
 		if dst < 0 {
@@ -650,23 +829,20 @@ func (e *Engine) generate(t int64) {
 }
 
 // routeShard is the routing phase of one shard: route every pending
-// packet, resolve the vertex path to channel ids once, and enqueue it on
-// the source endpoint's injection queue. Occupancy reads (UGAL) see the
-// stable previous-cycle state; the per-packet seed makes the result
-// independent of how packets are spread over shards and workers.
+// packet, resolve the vertex path to channel ids once into a freshly
+// allocated slab id, and enqueue the id on the source endpoint's
+// injection queue. Occupancy reads (UGAL) see the stable previous-cycle
+// state; the per-packet seed makes the result independent of how packets
+// are spread over shards and workers.
 func (e *Engine) routeShard(sh *shardState) {
+	st := &e.pkts
 	for _, pi := range sh.pending {
 		srcR, dstR := e.cfg.RouterOf(int(pi.ep)), e.cfg.RouterOf(int(pi.dst))
-		var pkt packet
-		pkt.gen = pi.gen
-		pkt.dstEP = pi.dst
-		pkt.srcEP = pi.ep
-		pkt.retries = pi.retries
-		pkt.measure = pi.gen >= int64(e.p.Warmup) && pi.gen < int64(e.p.Warmup+e.p.Measure)
+		var path []int
 		if srcR != dstR {
 			sh.rngSrc.seed(e.p.Seed, pi.ctr)
 			sh.pathBuf = sh.routing.Path(sh.pathBuf[:0], srcR, dstR, sh.occFn, sh.rng)
-			path := sh.pathBuf
+			path = sh.pathBuf
 			if e.fs != nil {
 				// Fault mode: validate the path against current liveness,
 				// fall back to the repaired table or a spanning-tree escape
@@ -690,17 +866,28 @@ func (e *Engine) routeShard(sh *shardState) {
 				}
 				continue
 			}
-			for i := 0; i+1 < len(path); i++ {
-				c := e.channelID(path[i], path[i+1])
-				if c < 0 {
-					panic("sim: packet path uses a non-edge")
-				}
-				pkt.chans[i] = int32(c)
-			}
-			pkt.nHops = int8(len(path) - 1)
 		}
-		unit := int32(e.injBase + int(pi.ep))
-		e.queues[unit].push(pkt)
+		// The path is routable: claim a slab id from the shard's cache
+		// (refillIDs guaranteed one per pending injection) and fill it.
+		id := sh.freeIDs[len(sh.freeIDs)-1]
+		sh.freeIDs = sh.freeIDs[:len(sh.freeIDs)-1]
+		base := int(id) * pktStride
+		for i := 0; i+1 < len(path); i++ {
+			c := e.channelID(path[i], path[i+1])
+			if c < 0 {
+				panic("sim: packet path uses a non-edge")
+			}
+			st.chans[base+i] = int32(c)
+		}
+		st.nHops[id] = int8(max(len(path)-1, 0))
+		st.hop[id] = 0
+		st.gen[id] = pi.gen
+		st.dstEP[id] = pi.dst
+		st.srcEP[id] = pi.ep
+		st.retries[id] = pi.retries
+		st.measure[id] = pi.gen >= int64(e.p.Warmup) && pi.gen < int64(e.p.Warmup+e.p.Measure)
+		unit := e.injUnit[pi.ep]
+		e.queues[unit].push(id)
 		e.markActive(unit, sh)
 		if sh.met != nil {
 			sh.met.injected++
@@ -718,47 +905,81 @@ func (e *Engine) arbitrateShard(sh *shardState, sid int) {
 	slot := int(t % int64(e.ringLen))
 	for src := 0; src < numShards; src++ {
 		box := &e.mail[(src*numShards+sid)*e.ringLen+slot]
-		for i := range *box {
-			a := &(*box)[i]
-			e.queues[a.unit].push(a.pkt)
+		for _, a := range *box {
+			e.queues[a.unit].push(a.id)
 			e.markActive(a.unit, sh)
 		}
+		sh.mailIn += int64(len(*box))
 		*box = (*box)[:0]
 	}
 
 	S := int64(e.p.PacketFlits)
+	fast := e.fastArb
 	kept := sh.routers[:0]
 	for _, r := range sh.routers {
+		if fast && e.routerWake[r] > t {
+			// Every unit of this router is waiting on a known future
+			// cycle; nothing here could have granted. Its active list is
+			// untouched (pops only happen through attempts), so skipping
+			// leaves the rotation exactly where the stepped engine's
+			// would be.
+			kept = append(kept, r)
+			continue
+		}
 		units := e.active[r]
-		keptUnits := units[:0]
+		minWake := int64(1) << 62
+		removed := false
 		// Round-robin: rotate by cycle to avoid static priority. The
 		// rotation is computed in int64 so 32-bit ints cannot truncate
 		// the cycle count.
-		off := int(t % int64(len(units)))
+		j := int(t % int64(len(units)))
 		for i := 0; i < len(units); i++ {
-			unit := units[(i+off)%len(units)]
+			unit := units[j]
+			if j++; j == len(units) {
+				j = 0
+			}
+			if fast {
+				if w := e.wake[unit]; w > t {
+					if w < minWake {
+						minWake = w
+					}
+					continue
+				}
+			}
 			q := &e.queues[unit]
 			if q.empty() {
-				e.inActive[unit] = false
+				e.inActive.clear(unit)
+				removed = true
 				continue
 			}
 			e.tryForward(sh, sid, unit, q, S)
 			if q.empty() {
-				e.inActive[unit] = false
+				e.inActive.clear(unit)
+				removed = true
+			} else if fast {
+				if w := e.wake[unit]; w < minWake {
+					minWake = w
+				}
 			}
 		}
-		// Rebuild the active list without emptied units (preserving
-		// original order for fairness stability).
-		for _, unit := range units {
-			if e.inActive[unit] {
-				keptUnits = append(keptUnits, unit)
+		if removed {
+			// Rebuild the active list without emptied units (preserving
+			// original order for fairness stability). Skipped when nothing
+			// emptied — the common saturated-steady-state case.
+			keptUnits := units[:0]
+			for _, unit := range units {
+				if e.inActive.get(unit) {
+					keptUnits = append(keptUnits, unit)
+				}
 			}
+			e.active[r] = keptUnits
+			units = keptUnits
 		}
-		e.active[r] = keptUnits
-		if len(keptUnits) == 0 {
+		if len(units) == 0 {
 			e.inWorklist[r] = false
 		} else {
 			kept = append(kept, r)
+			e.routerWake[r] = minWake
 		}
 	}
 	sh.routers = kept
@@ -768,57 +989,66 @@ func (e *Engine) arbitrateShard(sh *shardState, sid int) {
 // most one packet per input unit per cycle; one grant per output
 // resource per cycle is enforced by the busy timestamps. All state it
 // writes is owned by the arbitrating router (channel busy/occ of its
-// outgoing channels, its endpoints' injection/ejection serialization);
-// effects on other routers — forwarded packets, freed credits — go into
-// the shard journals.
+// outgoing channels, its endpoints' injection/ejection serialization) or
+// by the packet itself (the hop cursor of its own queue head); effects
+// on other routers — forwarded packets, freed credits, freed ids — go
+// into the shard journals.
 func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S int64) {
-	pkt := q.front()
+	id := q.front()
+	st := &e.pkts
 	// Injection serialization: a packet leaves its endpoint at most
 	// every S cycles.
-	if int(unit) >= e.injBase {
-		ep := int(unit) - e.injBase
+	if ep := e.unitEP[unit]; ep >= 0 {
 		if e.injBusy[ep] > e.now {
+			e.wake[unit] = e.injBusy[ep]
 			if sh.met != nil {
 				sh.met.stallInj++
 			}
 			return
 		}
 	}
-	if pkt.hop == pkt.nHops {
+	hop, nHops := st.hop[id], st.nHops[id]
+	if hop == nHops {
 		// Ejection to the destination endpoint.
-		ep := pkt.dstEP
+		ep := st.dstEP[id]
 		if e.fs != nil && e.fs.deadRouter[e.cfg.RouterOf(int(ep))] {
 			// The destination router died under the packet: drop it here,
 			// release this buffer's credit, and source-retry.
-			e.fs.retryFrom(sh, pkt)
+			e.fs.retryFrom(sh, id)
 			e.release(sh, unit)
+			sh.freed = append(sh.freed, id)
 			q.pop()
 			return
 		}
 		if e.ejBusy[ep] > e.now {
+			e.wake[unit] = e.ejBusy[ep]
 			if sh.met != nil {
 				sh.met.stallEject++
 			}
 			return
 		}
 		e.ejBusy[ep] = e.now + S
-		sh.deliver(pkt, e.now+S, e.p.PacketFlits)
+		sh.deliver(st, id, e.now+S, e.p.PacketFlits)
 		e.release(sh, unit)
+		sh.freed = append(sh.freed, id)
+		e.wake[unit] = e.now + 1
 		q.pop()
 		return
 	}
-	c := pkt.chans[pkt.hop]
+	c := st.chans[int(id)*pktStride+int(hop)]
 	if e.fs != nil && e.fs.deadChan[c] {
 		// The next link of the packet's path is down: the packet is
 		// dropped from this buffer (credit released at commit, preserving
 		// the reclaim invariant) and source-retried — the retry re-routes
 		// around the failure.
-		e.fs.retryFrom(sh, pkt)
+		e.fs.retryFrom(sh, id)
 		e.release(sh, unit)
+		sh.freed = append(sh.freed, id)
 		q.pop()
 		return
 	}
 	if e.busy[c] > e.now {
+		e.wake[unit] = e.busy[c]
 		if sh.met != nil {
 			sh.met.stallBusy++
 		}
@@ -830,13 +1060,10 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 	// dependency graph stays acyclic — while still letting packets
 	// spread over the free VCs to reduce head-of-line blocking.
 	// Pick the eligible VC with the most free credits.
-	minVC := 0
-	if int(unit) < e.injBase {
-		minVC = int(unit)%e.vcs + 1
-	}
+	minVC := int(e.unitMinVC[unit])
 	// Leave VC headroom for the links after this one: choosing too
 	// high a VC now would strand the packet later.
-	remaining := int(pkt.nHops) - 1 - int(pkt.hop)
+	remaining := int(nHops) - 1 - int(hop)
 	maxVC := e.vcs - 1 - remaining
 	if minVC > maxVC {
 		panic("sim: path longer than VC count")
@@ -849,11 +1076,21 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 		}
 	}
 	if slotIdx < 0 {
+		// No credits downstream on any eligible VC. Credits only come
+		// back through a commit-applied release on channel c, so park
+		// the unit on c's waiter list; commit re-arms it (wake = t+1)
+		// when any release for c lands. Waking on any VC of c is
+		// conservative — the unit may stall again — but never late.
+		if e.fastArb {
+			e.wake[unit] = int64(1) << 62
+			e.waiterNext[unit] = e.waiterHead[c]
+			e.waiterHead[c] = unit
+		}
 		if sh.met != nil {
 			sh.met.stallCredit++
 			sh.met.creditVC[minVC]++
 		}
-		return // no credits downstream on any eligible VC
+		return
 	}
 	// Grant.
 	e.occ[slotIdx] += int32(S)
@@ -862,16 +1099,17 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 		e.occHWM.Observe(int(c), e.occSum[c])
 	}
 	e.busy[c] = e.now + S
-	if int(unit) >= e.injBase {
-		e.injBusy[int(unit)-e.injBase] = e.now + S
+	if ep := e.unitEP[unit]; ep >= 0 {
+		e.injBusy[ep] = e.now + S
 	}
-	fwd := *pkt
-	fwd.hop++
+	st.hop[id] = hop + 1
 	dstShard := int(e.routerShard[e.g.ChannelTo(int(c))])
 	arrive := int((e.now + S + int64(e.p.LinkLatency)) % int64(e.ringLen))
 	box := &e.mail[(sid*numShards+dstShard)*e.ringLen+arrive]
-	*box = append(*box, inflight{pkt: fwd, unit: int32(slotIdx)})
+	*box = append(*box, inflight{id: id, unit: e.chanUnit[slotIdx]})
+	sh.mailOut++
 	e.release(sh, unit)
+	e.wake[unit] = e.now + 1
 	q.pop()
 }
 
@@ -880,16 +1118,16 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 // The credit becomes visible at commit, after every router has
 // arbitrated this cycle.
 func (e *Engine) release(sh *shardState, unit int32) {
-	if int(unit) < e.injBase {
-		sh.releases = append(sh.releases, unit)
+	if credit := e.unitCredit[unit]; credit >= 0 {
+		sh.releases = append(sh.releases, credit)
 	}
 }
 
-func (sh *shardState) deliver(pkt *packet, at int64, flits int) {
+func (sh *shardState) deliver(st *pktStore, id int32, at int64, flits int) {
 	sh.deliveredAll++
-	if pkt.measure {
+	if st.measure[id] {
 		sh.deliveredMeas++
-		lat := at - pkt.gen
+		lat := at - st.gen[id]
 		sh.latencySumMeas += lat
 		if lat > sh.latencyMax {
 			sh.latencyMax = lat

@@ -31,6 +31,36 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkCycleSoA measures one steady-state busy cycle of the SoA
+// engine in isolation (no warmup, no spec construction): the direct
+// counterpart of the whole-run BenchmarkSweep for before/after engine
+// comparisons (results/perf/simrun-pr6.txt).
+func BenchmarkCycleSoA(b *testing.B) {
+	spec := MustNewSpec("ps-iq-small")
+	p := DefaultParams(1)
+	p.Warmup, p.Measure, p.Drain = 1 << 30, 1 << 30, 0 // generation never stops
+	pattern, err := spec.Pattern("uniform", p.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(p, spec.Graph, spec.Config(), spec.UGALRouting(p.PacketFlits), pattern)
+	eng.initGeneration(0.4 / float64(p.PacketFlits))
+	var t int64
+	for ; t < 3000; t++ { // reach queue/ring steady state
+		eng.stepCycle(t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.stepCycle(t)
+		t++
+	}
+	var pkts int64
+	for _, sh := range eng.shards {
+		pkts += sh.deliveredAll
+	}
+	b.ReportMetric(float64(pkts)/float64(t), "pkts/cycle")
+}
+
 func BenchmarkSpecConstruction(b *testing.B) {
 	for _, name := range []string{"ps-iq-small", "df-small", "ft-small"} {
 		b.Run(name, func(b *testing.B) {

@@ -76,6 +76,9 @@ func NewSpec(name string) (*Spec, error) {
 		return polarStarSpec(name, 11, 3, topo.KindIQ, 5)
 	case "ps-iq-small":
 		return polarStarSpec(name, 5, 4, topo.KindIQ, 3)
+	case "ps-iq-large": // PSIQ(23,11): 13272 routers, radix 35 — the §7
+		// "largest diameter-3 network" point, beyond the paper's simulations
+		return polarStarSpec(name, 23, 11, topo.KindIQ, 11)
 	case "ps-pal": // q=8, d'=6: 949 routers (see EXPERIMENTS.md E6 note)
 		return polarStarSpec(name, 8, 6, topo.KindPaley, 5)
 	case "ps-pal-small":

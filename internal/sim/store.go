@@ -1,0 +1,178 @@
+package sim
+
+import "fmt"
+
+// Structure-of-arrays packet storage. Packets used to be 48-byte structs
+// copied through every queue push, mail-ring hop and forward; they are
+// now a recycled int32 id into parallel field slabs, so queues and mail
+// rings move 4–8 bytes per packet and arbitration touches only the
+// fields it reads (hop, nHops, the next channel id) instead of dragging
+// whole structs through the cache. See DESIGN.md §10.
+//
+// Id lifecycle (the determinism contract):
+//
+//   - The global free stack is touched only in the serial sections of a
+//     cycle: refillIDs (before the routing phase) moves ids into
+//     per-shard allocation caches, and commit drains the per-shard freed
+//     journals back in fixed shard order.
+//   - The routing phase allocates from its shard's cache only; the
+//     arbitration phase frees into its shard's journal only. A freed id
+//     is therefore never reallocated in the same cycle, and every
+//     id movement is a pure function of the (worker-count-independent)
+//     serial schedule.
+//   - Results never depend on id values — ids are array indices, and all
+//     ordering comes from the queues — but keeping the allocator
+//     deterministic means memory layout (and thus any accidental
+//     dependence) cannot vary with the worker count either.
+
+// pktStride is the per-packet channel-id capacity: one slot per link of
+// the longest representable path.
+const pktStride = MaxPathNodes - 1
+
+// pktStore holds every packet field as a dense parallel array indexed by
+// packet id. chans is flattened at pktStride int32s per id.
+type pktStore struct {
+	chans   []int32 // id*pktStride + i: channel id of hop i
+	nHops   []int8  // channels on the path; 0 = source == destination router
+	hop     []int8  // channels already traversed; ejects at hop == nHops
+	gen     []int64 // generation cycle (latency base)
+	dstEP   []int32 // destination endpoint
+	srcEP   []int32 // source endpoint: the re-injection point under faults
+	retries []uint8 // source retries already consumed (faults only)
+	measure []bool  // generated inside the measurement window
+
+	// free is the global id stack. Serial sections only: refillIDs pops,
+	// commit and the fault paths push. Capacity always equals the slab
+	// capacity, so pushes never reallocate.
+	free []int32
+}
+
+// cap returns the slab capacity (ids ever created).
+func (st *pktStore) cap() int { return len(st.nHops) }
+
+// grow extends the slab so at least n more ids are free, growing
+// geometrically to amortize. Serial sections only.
+func (st *pktStore) grow(n int) {
+	if n < st.cap()/2 {
+		n = st.cap() / 2
+	}
+	if n < 256 {
+		n = 256
+	}
+	old := st.cap()
+	st.chans = append(st.chans, make([]int32, n*pktStride)...)
+	st.nHops = append(st.nHops, make([]int8, n)...)
+	st.hop = append(st.hop, make([]int8, n)...)
+	st.gen = append(st.gen, make([]int64, n)...)
+	st.dstEP = append(st.dstEP, make([]int32, n)...)
+	st.srcEP = append(st.srcEP, make([]int32, n)...)
+	st.retries = append(st.retries, make([]uint8, n)...)
+	st.measure = append(st.measure, make([]bool, n)...)
+	free := make([]int32, len(st.free), st.cap())
+	copy(free, st.free)
+	// Hand out low ids first (descending push, LIFO pop) to keep the
+	// working set compact.
+	for id := old + n - 1; id >= old; id-- {
+		free = append(free, int32(id))
+	}
+	st.free = free
+}
+
+// slabCheck verifies the packet-id accounting invariant: every id ever
+// created is in exactly one place — the global free stack, a shard's
+// allocation cache or freed journal, a queue, or a mail ring. Violations
+// mean a leak (an id lost to the allocator forever) or a double-spend
+// (one id live in two queues, i.e. two packets aliasing one slab slot).
+// Called by the property and fuzz tests after runs, including
+// terminated-early fault runs where stranded ids legitimately stay in
+// queues.
+func (e *Engine) slabCheck() error {
+	owner := make([]string, e.pkts.cap())
+	claim := func(id int32, where string) error {
+		if id < 0 || int(id) >= len(owner) {
+			return fmt.Errorf("sim: packet id %d outside slab [0,%d) in %s", id, len(owner), where)
+		}
+		if owner[id] != "" {
+			return fmt.Errorf("sim: packet id %d in both %s and %s", id, owner[id], where)
+		}
+		owner[id] = where
+		return nil
+	}
+	for _, id := range e.pkts.free {
+		if err := claim(id, "free stack"); err != nil {
+			return err
+		}
+	}
+	for s, sh := range e.shards {
+		for _, id := range sh.freeIDs {
+			if err := claim(id, fmt.Sprintf("shard %d cache", s)); err != nil {
+				return err
+			}
+		}
+		for _, id := range sh.freed {
+			if err := claim(id, fmt.Sprintf("shard %d freed journal", s)); err != nil {
+				return err
+			}
+		}
+	}
+	for u := range e.queues {
+		q := &e.queues[u]
+		for _, id := range q.buf[q.head:] {
+			if err := claim(id, fmt.Sprintf("queue %d", u)); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range e.mail {
+		for _, a := range e.mail[i] {
+			if err := claim(a.id, fmt.Sprintf("mail box %d", i)); err != nil {
+				return err
+			}
+		}
+	}
+	for id, w := range owner {
+		if w == "" {
+			return fmt.Errorf("sim: packet id %d leaked (in no free list, queue or mail ring)", id)
+		}
+	}
+	return nil
+}
+
+// pktQueue is one FIFO of packet ids (a channel/VC input buffer or an
+// endpoint injection queue). pop compacts whenever the dead prefix
+// reaches half the buffer: each element is copied at most once per
+// residence on average (amortized O(1)) and the buffer's high-water
+// capacity stays ~2× the live occupancy, so queues reach a steady state
+// where push never reallocates.
+type pktQueue struct {
+	buf  []int32
+	head int
+}
+
+func (q *pktQueue) empty() bool   { return q.head >= len(q.buf) }
+func (q *pktQueue) len() int      { return len(q.buf) - q.head }
+func (q *pktQueue) front() int32  { return q.buf[q.head] }
+func (q *pktQueue) push(id int32) { q.buf = append(q.buf, id) }
+
+func (q *pktQueue) pop() {
+	q.head++
+	if q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+}
+
+// bitset is a dense uint64 bit vector: the word-at-a-time replacement
+// for []bool unit flags. Units are numbered router-major with each
+// shard's block padded to a 64-bit boundary (see NewEngine), so two
+// shards never write the same word concurrently — the same ownership
+// argument that makes the byte-per-unit version race-free, kept at 8×
+// the density.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) get(i int32) bool { return b[i>>6]&(1<<(uint32(i)&63)) != 0 }
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint32(i) & 63) }
+func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << (uint32(i) & 63) }
