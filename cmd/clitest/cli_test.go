@@ -17,6 +17,7 @@ var binDir string
 var binaries = []string{
 	"psgen", "psroute", "psscale", "psbisect",
 	"pssim", "psfig", "psfaults", "psmotifs",
+	"pssearch",
 }
 
 func TestMain(m *testing.M) {
@@ -176,6 +177,87 @@ func TestPssimMetrics(t *testing.T) {
 	run(t, "pssim", args4...)
 	if a, b := artifact(t, out), artifact(t, out4); !reflect.DeepEqual(a["sim"], b["sim"]) {
 		t.Error("sim metrics differ between -workers 2 and -workers 4")
+	}
+}
+
+// TestPssearchMetrics is the acceptance check of the search CLI: an
+// equally seeded re-run must reproduce stdout, the checkpoint, the best
+// graph and the metrics payload byte for byte regardless of -workers,
+// and resuming the checkpoint at the same epoch target must be a
+// byte-stable no-op.
+func TestPssearchMetrics(t *testing.T) {
+	tmp := t.TempDir()
+	runArgs := func(workers int, tag string) (stdout, cp, best, metrics string) {
+		cp = filepath.Join(tmp, "cp-"+tag+".json")
+		best = filepath.Join(tmp, "best-"+tag+".txt")
+		metrics = filepath.Join(tmp, "m-"+tag+".json")
+		stdout = run(t, "pssearch", "-start", "jellyfish:64,4", "-seed", "5",
+			"-searchers", "3", "-epochs", "3", "-iters", "150",
+			"-workers", fmt.Sprint(workers),
+			"-checkpoint", cp, "-best-out", best,
+			"-metrics", metrics, "-metrics-timing=false")
+		return
+	}
+	out1, cp1, best1, m1 := runArgs(1, "w1")
+	out4, cp4, best4, m4 := runArgs(4, "w4")
+
+	if out1 != out4 {
+		t.Errorf("stdout differs between -workers 1 and 4:\n%s\n---\n%s", out1, out4)
+	}
+	for _, pair := range [][2]string{{cp1, cp4}, {best1, best4}} {
+		a, _ := os.ReadFile(pair[0])
+		b, _ := os.ReadFile(pair[1])
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ between worker counts", pair[0], pair[1])
+		}
+	}
+	if a, b := artifact(t, m1), artifact(t, m4); !reflect.DeepEqual(a["search"], b["search"]) {
+		t.Error("search metrics differ between -workers 1 and -workers 4")
+	}
+
+	m := artifact(t, m1)
+	if got := field(t, m, "manifest", "tool"); got != "pssearch" {
+		t.Errorf("manifest tool = %v", got)
+	}
+	if aspl := field(t, m, "search", "best_aspl").(float64); aspl <= 1 {
+		t.Errorf("search best_aspl = %v, want > 1", aspl)
+	}
+	if bound := field(t, m, "search", "aspl_lower_bound").(float64); bound <= 1 {
+		t.Errorf("search aspl_lower_bound = %v, want > 1", bound)
+	}
+	if gap := field(t, m, "search", "gap_pct").(float64); gap < 0 {
+		t.Errorf("search gap_pct = %v, want >= 0", gap)
+	}
+	if traj := field(t, m, "search", "trajectory").([]any); len(traj) != 3 {
+		t.Errorf("search trajectory has %d points, want 3", len(traj))
+	}
+	if drift, ok := m["search"].(map[string]any)["drift"].(float64); ok && drift != 0 {
+		t.Errorf("search drift = %v, want 0", drift)
+	}
+
+	// Resume at the same epoch target: byte-stable checkpoint no-op.
+	cp2 := filepath.Join(tmp, "cp-resumed.json")
+	run(t, "pssearch", "-resume", cp1, "-epochs", "3", "-checkpoint", cp2)
+	a, _ := os.ReadFile(cp1)
+	b, _ := os.ReadFile(cp2)
+	if !bytes.Equal(a, b) {
+		t.Error("resume at the same epoch target rewrote a different checkpoint")
+	}
+
+	// The best graph edge list: one edge per non-comment line, and the
+	// degree sequence preserved means exactly 64·4/2 edges.
+	data, err := os.ReadFile(best1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			edges++
+		}
+	}
+	if edges != 128 {
+		t.Errorf("best-out has %d edges, want 128 (64 vertices of degree 4)", edges)
 	}
 }
 

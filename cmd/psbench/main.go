@@ -1,21 +1,28 @@
-// psbench records the simulator's machine-readable benchmark trajectory:
+// psbench records the repo's machine-readable benchmark trajectory:
 // it runs a fixed latency-load sweep workload per spec and writes wall
 // time, simulated cycles/sec and allocated bytes per generated packet as
 // BENCH_sim.json — the datapoint CI's bench-smoke job regenerates so
 // engine-performance regressions show up as a diffable number, not a
-// feeling. Committed snapshots live in results/perf/.
+// feeling. With -graph-out it also benchmarks the graph kernel: full
+// AllPairsStats recomputation vs the incremental DeltaStats evaluation
+// the search engine runs per 2-opt swap, emitting BENCH_graph.json with
+// the measured speedup and mean dirty-source count. Committed snapshots
+// live in results/perf/.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
 
+	"polarstar/internal/graph"
 	"polarstar/internal/obs"
 	"polarstar/internal/sim"
+	"polarstar/internal/topo"
 )
 
 // benchEntry is one (spec, routing) sweep measurement.
@@ -40,13 +47,47 @@ type benchFile struct {
 	Entries []benchEntry `json:"entries"`
 }
 
+// graphEntry is one graph-kernel measurement: the wall cost of a full
+// all-pairs recomputation vs the delta evaluation of one 2-opt swap.
+type graphEntry struct {
+	Graph       string  `json:"graph"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Degree      int     `json:"degree"`
+	Swaps       int     `json:"swaps"`         // applied (accepted) swaps measured
+	AllPairsMS  float64 `json:"allpairs_ms"`   // one full AllPairsStatsSerial
+	DeltaMS     float64 `json:"delta_ms"`      // one DeltaStats.Apply, mean
+	DirtyMean   float64 `json:"dirty_mean"`    // BFS sources recomputed per swap
+	DirtyFrac   float64 `json:"dirty_frac"`    // dirty_mean / n
+	SpeedupFull float64 `json:"speedup_full"`  // allpairs_ms / delta_ms
+	Rebuilds    int64   `json:"full_rebuilds"` // stride-overflow fallbacks (expect 0)
+}
+
+type graphBenchFile struct {
+	Tool    string       `json:"tool"`
+	Section string       `json:"section"`
+	Go      string       `json:"go"`
+	Arch    string       `json:"arch"`
+	Seed    int64        `json:"seed"`
+	Entries []graphEntry `json:"entries"`
+}
+
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_sim.json", "output JSON path (- for stdout)")
-		workers = flag.Int("workers", 1, "sim engine shard workers per run")
-		seed    = flag.Int64("seed", 1, "seed")
+		out        = flag.String("out", "BENCH_sim.json", "sim sweep output JSON path (- for stdout, empty to skip)")
+		workers    = flag.Int("workers", 1, "sim engine shard workers per run")
+		seed       = flag.Int64("seed", 1, "seed")
+		graphOut   = flag.String("graph-out", "", "graph-kernel bench output JSON path (- for stdout, empty to skip)")
+		graphSwaps = flag.Int("graph-swaps", 200, "2-opt swaps to measure per graph in the kernel bench")
 	)
 	flag.Parse()
+
+	if *graphOut != "" {
+		runGraphBench(*graphOut, *graphSwaps, *seed)
+	}
+	if *out == "" {
+		return
+	}
 
 	cases := []struct {
 		spec string
@@ -115,4 +156,117 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("psbench: wrote %s (%d entries)\n", *out, len(bf.Entries))
+}
+
+// runGraphBench measures the incremental-evaluation speedup that makes
+// the 2-opt search viable: mean DeltaStats.Apply cost per applied swap
+// against one full AllPairsStatsSerial recomputation, per graph.
+func runGraphBench(out string, swaps int, seed int64) {
+	cases := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"jellyfish-1024-16", func() (*graph.Graph, error) { return topo.NewJellyfish(1024, 16, seed) }},
+		{"jellyfish-4096-16", func() (*graph.Graph, error) { return topo.NewJellyfish(4096, 16, seed) }},
+		{"polarstar-iq-11-3", func() (*graph.Graph, error) {
+			ps, err := topo.NewPolarStar(11, 3, topo.KindIQ)
+			if err != nil {
+				return nil, err
+			}
+			return ps.G, nil
+		}},
+	}
+
+	gf := graphBenchFile{Tool: "psbench", Section: "graph-kernel", Go: runtime.Version(), Arch: runtime.GOARCH, Seed: seed}
+	for _, c := range cases {
+		g, err := c.build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		e, err := benchGraphKernel(c.name, g, swaps, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psbench:", err)
+			os.Exit(1)
+		}
+		gf.Entries = append(gf.Entries, e)
+	}
+
+	enc, err := json.MarshalIndent(gf, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "psbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("psbench: wrote %s (%d entries)\n", out, len(gf.Entries))
+}
+
+func benchGraphKernel(name string, g *graph.Graph, swaps int, seed int64) (graphEntry, error) {
+	// Full-recomputation baseline: best of 3 so a stray scheduler blip
+	// cannot inflate the reported speedup.
+	fullMS := 0.0
+	var scratch graph.BitBFSScratch
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		g.AllPairsStatsSerial(&scratch)
+		if ms := float64(time.Since(t0).Nanoseconds()) / 1e6; rep == 0 || ms < fullMS {
+			fullMS = ms
+		}
+	}
+
+	d := graph.NewDeltaStats(g)
+	edges := g.Edges()
+	rng := rand.New(rand.NewSource(seed))
+	var deltaNS int64
+	applied := 0
+	for attempts := 0; applied < swaps; attempts++ {
+		if attempts > 1000*swaps {
+			return graphEntry{}, fmt.Errorf("graph bench %s: cannot find %d valid swaps", name, swaps)
+		}
+		i, j := rng.Intn(len(edges)), rng.Intn(len(edges))
+		a, b := int32(edges[i][0]), int32(edges[i][1])
+		c2, d2 := int32(edges[j][0]), int32(edges[j][1])
+		if rng.Intn(2) == 1 {
+			a, b = b, a
+		}
+		if rng.Intn(2) == 1 {
+			c2, d2 = d2, c2
+		}
+		sw := graph.Swap{A: a, B: b, C: c2, D: d2}
+		if !d.Graph().CanSwap(sw) {
+			continue
+		}
+		t0 := time.Now()
+		d.Apply(sw)
+		deltaNS += time.Since(t0).Nanoseconds()
+		edges[i] = [2]int{int(a), int(c2)}
+		edges[j] = [2]int{int(b), int(d2)}
+		applied++
+	}
+	if d.Resync() {
+		return graphEntry{}, fmt.Errorf("graph bench %s: delta state drifted from full recomputation", name)
+	}
+
+	e := graphEntry{
+		Graph:      name,
+		N:          g.N(),
+		M:          len(edges),
+		Degree:     g.MaxDegree(),
+		Swaps:      applied,
+		AllPairsMS: fullMS,
+		DeltaMS:    float64(deltaNS) / 1e6 / float64(applied),
+		DirtyMean:  float64(d.DirtyTotal) / float64(d.Evals),
+		Rebuilds:   d.FullRebuilds,
+	}
+	e.DirtyFrac = e.DirtyMean / float64(e.N)
+	e.SpeedupFull = e.AllPairsMS / e.DeltaMS
+	return e, nil
 }

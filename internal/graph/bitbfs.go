@@ -42,8 +42,16 @@ type BitBFSScratch struct {
 	srcs     [64]int32
 }
 
-// reset sizes the arena for an n-vertex graph and clears it.
+// reset sizes the arena for an n-vertex graph and clears it. Cross-size
+// reuse is safe in both directions: shrinking re-slices (capacity and any
+// stale words beyond n are retained but never read), growing reallocates
+// all three bitsets together, and the clear always covers the full
+// re-sliced window so bits left by a previous, larger graph cannot leak
+// into a later batch. TestBitBFSScratchCrossSizeReuse pins this.
 func (s *BitBFSScratch) reset(n int) {
+	if len(s.frontier) != len(s.visited) || len(s.next) != len(s.visited) {
+		panic("graph: BitBFSScratch bitsets diverged; a scratch must not be shared between goroutines")
+	}
 	if cap(s.visited) < n {
 		s.visited = make([]uint64, n)
 		s.frontier = make([]uint64, n)
@@ -146,6 +154,180 @@ func (g *Graph) BitBFSBatch(srcs []int32, s *BitBFSScratch, dst []bool, hist []i
 			st.Reached[lane] += c
 			st.Sum[lane] += int64(level) * c
 			st.Ecc[lane] = level
+		}
+	}
+}
+
+// DistUnreachable marks an unreached vertex in the uint8 distance
+// vectors produced by BitBFSBatchDist.
+const DistUnreachable = ^uint8(0)
+
+// BitBFSBatchDist is BitBFSBatch additionally recording the full
+// distance vector of every lane in vertex-major layout: on return
+// dist[v·stride+lane] holds the hop distance from srcs[lane] to v, or
+// DistUnreachable. stride must be ≥ len(srcs) and dist must have length
+// ≥ (N()−1)·stride + len(srcs); a caller assembling more than 64 source
+// vectors passes the same stride with an offset slice per batch. The
+// vertex-major layout keeps one vertex's lanes in one cache line — the
+// lane-major alternative scatters every distance write across stride-N
+// regions and measures ~4x slower at n=4096 — and it is also the access
+// order of the delta-evaluation dirty tests (DeltaStats), which read all
+// probe distances of one source together. Returns ok=false (dist
+// contents unspecified) if any distance would reach 255, so callers can
+// fall back to treating every source as dirty.
+func (g *Graph) BitBFSBatchDist(srcs []int32, s *BitBFSScratch, dist []uint8, stride int) (st BatchBFSStats, ok bool) {
+	st.Lanes = len(srcs)
+	if len(srcs) == 0 {
+		return st, true
+	}
+	if len(srcs) > 64 {
+		panic("graph: BitBFSBatchDist batch exceeds 64 sources")
+	}
+	if stride < len(srcs) {
+		panic("graph: BitBFSBatchDist stride below lane count")
+	}
+	lanes := len(srcs)
+	s.reset(g.n)
+	for lane, v := range srcs {
+		bit := uint64(1) << uint(lane)
+		s.visited[v] |= bit
+		s.frontier[v] |= bit
+		dist[int(v)*stride+lane] = 0
+	}
+	for level := int32(1); ; level++ {
+		if level >= int32(DistUnreachable) {
+			return st, false
+		}
+		for u := 0; u < g.n; u++ {
+			f := s.frontier[u]
+			if f == 0 {
+				continue
+			}
+			for _, v := range g.nbr[g.off[u]:g.off[u+1]] {
+				s.next[v] |= f
+			}
+		}
+		var laneCnt [64]int64
+		anyNew := false
+		for v := 0; v < g.n; v++ {
+			nw := s.next[v] &^ s.visited[v]
+			s.next[v] = 0
+			s.frontier[v] = nw
+			if nw == 0 {
+				continue
+			}
+			anyNew = true
+			s.visited[v] |= nw
+			row := dist[v*stride : v*stride+lanes]
+			for w := nw; w != 0; w &= w - 1 {
+				lane := bits.TrailingZeros64(w)
+				laneCnt[lane]++
+				row[lane] = uint8(level)
+			}
+		}
+		if !anyNew {
+			break
+		}
+		for lane := 0; lane < st.Lanes; lane++ {
+			c := laneCnt[lane]
+			if c == 0 {
+				continue
+			}
+			st.Reached[lane] += c
+			st.Sum[lane] += int64(level) * c
+			st.Ecc[lane] = level
+		}
+	}
+	// Unreached fix-up: dist was written only for visited vertices, so
+	// lanes that did not reach the whole graph still hold stale bytes
+	// there. Skipped entirely on the (common) all-lanes-connected path.
+	needFix := false
+	for lane := 0; lane < lanes; lane++ {
+		if st.Reached[lane] != int64(g.n-1) {
+			needFix = true
+			break
+		}
+	}
+	if needFix {
+		full := ^uint64(0) >> uint(64-lanes)
+		for v := 0; v < g.n; v++ {
+			miss := full &^ s.visited[v]
+			for w := miss; w != 0; w &= w - 1 {
+				dist[v*stride+bits.TrailingZeros64(w)] = DistUnreachable
+			}
+		}
+	}
+	return st, true
+}
+
+// BitBFSBatchRows is BitBFSBatch additionally recording per-lane level
+// counts: on return rows[lane*stride+d] holds the number of vertices at
+// distance exactly d (1 ≤ d < stride) from srcs[lane]; rows[lane*stride]
+// is 0 (a source never counts itself). The used lane windows are zeroed
+// first, so callers can hand in a dirty buffer. rows must have length ≥
+// len(srcs)·stride. Returns ok=false — with rows contents unspecified —
+// when some lane's eccentricity reaches stride, letting DeltaStats grow
+// its row stride and retry.
+func (g *Graph) BitBFSBatchRows(srcs []int32, s *BitBFSScratch, rows []int32, stride int) (st BatchBFSStats, ok bool) {
+	st.Lanes = len(srcs)
+	if len(srcs) == 0 {
+		return st, true
+	}
+	if len(srcs) > 64 {
+		panic("graph: BitBFSBatchRows batch exceeds 64 sources")
+	}
+	if stride < 1 {
+		panic("graph: BitBFSBatchRows stride must be >= 1")
+	}
+	clear(rows[:len(srcs)*stride])
+	s.reset(g.n)
+	for lane, v := range srcs {
+		bit := uint64(1) << uint(lane)
+		s.visited[v] |= bit
+		s.frontier[v] |= bit
+	}
+	for level := int32(1); ; level++ {
+		for u := 0; u < g.n; u++ {
+			f := s.frontier[u]
+			if f == 0 {
+				continue
+			}
+			for _, v := range g.nbr[g.off[u]:g.off[u+1]] {
+				s.next[v] |= f
+			}
+		}
+		var laneCnt [64]int64
+		anyNew := false
+		for v := 0; v < g.n; v++ {
+			nw := s.next[v] &^ s.visited[v]
+			s.next[v] = 0
+			s.frontier[v] = nw
+			if nw == 0 {
+				continue
+			}
+			anyNew = true
+			s.visited[v] |= nw
+			for w := nw; w != 0; w &= w - 1 {
+				laneCnt[bits.TrailingZeros64(w)]++
+			}
+		}
+		if !anyNew {
+			return st, true
+		}
+		// Checked only once the level is known non-empty, so a graph
+		// whose eccentricity is exactly stride-1 still fits.
+		if int(level) >= stride {
+			return st, false
+		}
+		for lane := 0; lane < st.Lanes; lane++ {
+			c := laneCnt[lane]
+			if c == 0 {
+				continue
+			}
+			st.Reached[lane] += c
+			st.Sum[lane] += int64(level) * c
+			st.Ecc[lane] = level
+			rows[lane*stride+int(level)] = int32(c)
 		}
 	}
 }

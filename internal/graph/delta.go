@@ -1,0 +1,475 @@
+// Incremental all-pairs evaluation under 2-opt swaps: the inner-loop
+// oracle of the design-space search (internal/search, cmd/pssearch).
+//
+// A full AllPairsStats on an n-vertex graph runs ⌈n/64⌉ bit-parallel
+// batches. A 2-opt swap, however, leaves most BFS trees untouched, and
+// which trees *can* change is decidable exactly from distances measured
+// at the swapped endpoints and their neighborhoods:
+//
+//   - Removing edge {x,y} can change the distances from source s only if
+//     the edge lies on s's shortest-path DAG (|d(s,x) − d(s,y)| = 1) AND
+//     the deeper endpoint has no other neighbor one level closer to s.
+//     If every vertex keeps at least one DAG parent edge, a level-by-
+//     level induction shows every distance from s is preserved.
+//   - Adding edge {x,y} can change the distances from source s only if
+//     |d(s,x) − d(s,y)| ≥ 2 (or exactly one endpoint is unreachable):
+//     otherwise any path using the new edge is no shorter than the old
+//     distance, again by induction on the new distance.
+//
+// Both tests are conservative in the safe direction — a source that
+// passes them provably keeps its exact distance vector — so recomputing
+// BFS only from the failing ("dirty") sources reproduces the full
+// recomputation bit for bit (the property tests in delta_test.go pin
+// this against AllPairsStatsScalar and DistanceHistogram after every
+// swap). The removal test consults the distances of the endpoints'
+// neighbors, which is why the per-swap probe runs BitBFSBatchDist over
+// the closed neighborhoods of the four endpoints: a constant number of
+// batches, independent of n, versus ⌈n/64⌉ for the full recomputation.
+//
+// All state updates are integer and processed in ascending source order,
+// so DeltaStats inherits the repository-wide determinism contract: the
+// final aggregates are a pure function of the starting graph and the
+// swap sequence.
+package graph
+
+import "fmt"
+
+// DeltaStats maintains the exact all-pairs distance aggregates —
+// diameter, average path length, connected pair count and the global
+// distance histogram — of an editable graph while 2-opt swaps are
+// applied to it, re-running BFS only from sources whose distance tree
+// can have changed. It supports a one-deep Revert for rejected search
+// moves and a full Resync for cadence-based verification.
+//
+// A DeltaStats owns its graph (NewDeltaStats clones the input) and
+// serves one goroutine.
+type DeltaStats struct {
+	g      *Graph
+	n      int
+	stride int // row width; per-source level counts cover d < stride
+
+	rows       []int32 // n×stride; rows[s·stride+d] = #vertices at distance d from s
+	ecc        []int32 // per-source eccentricity
+	srcSum     []int64 // per-source Σ distances
+	srcReached []int64 // per-source reached count
+
+	sum    int64   // Σ over connected ordered pairs of their distance
+	pairs  int64   // connected ordered pairs
+	hist   []int64 // hist[d] = ordered pairs at distance d; len stride
+	eccCnt []int64 // eccCnt[e] = sources with eccentricity e; len stride
+
+	// Per-swap scratch, reused across Apply calls (allocation-free once
+	// warm).
+	scratch   BitBFSScratch
+	srcs      [64]int32
+	regionIdx []int32 // vertex -> lane in dists, -1 outside the region
+	region    []int32
+	dists     []uint8 // len(region)×n distance vectors on the pre-swap graph
+	dirty     []int32
+	rowBuf    []int32 // 64×stride batch output
+
+	undo undoState
+
+	// Telemetry for the search loop (read-only for callers).
+	Evals        int64 // Apply calls
+	FullRebuilds int64 // Applies that fell back to a full rebuild
+	Resyncs      int64 // Resync calls
+	DirtyTotal   int64 // Σ dirty-set sizes over all Applies
+	LastDirty    int   // dirty-set size of the most recent Apply
+}
+
+// undoState is the one-deep backup taken by Apply so a rejected search
+// move can be reverted exactly.
+type undoState struct {
+	valid      bool
+	full       bool // the Apply rebuilt from scratch; Revert must too
+	sw         Swap // inverse swap
+	dirty      []int32
+	rows       []int32
+	ecc        []int32
+	srcSum     []int64
+	srcReached []int64
+	sum, pairs int64
+	hist       []int64
+	eccCnt     []int64
+}
+
+// initStride is the starting row width. Diameter-3-family graphs use
+// 4 entries; the width doubles (with a full rebuild) if a swap pushes
+// some eccentricity past it.
+const initStride = 8
+
+// NewDeltaStats builds the incremental evaluation state for g. The graph
+// is cloned (CloneEditable), so g itself is never mutated.
+func NewDeltaStats(g *Graph) *DeltaStats {
+	d := &DeltaStats{
+		g:      g.CloneEditable(),
+		n:      g.N(),
+		stride: initStride,
+	}
+	d.regionIdx = make([]int32, d.n)
+	for i := range d.regionIdx {
+		d.regionIdx[i] = -1
+	}
+	d.ecc = make([]int32, d.n)
+	d.srcSum = make([]int64, d.n)
+	d.srcReached = make([]int64, d.n)
+	d.rebuild()
+	return d
+}
+
+// Graph returns the current graph. Callers must treat it as read-only;
+// it is mutated by Apply and Revert.
+func (d *DeltaStats) Graph() *Graph { return d.g }
+
+// Stats returns the exact all-pairs statistics of the current graph,
+// identical to g.AllPairsStats() but O(stride).
+func (d *DeltaStats) Stats() PathStats {
+	st := PathStats{
+		Pairs:     d.pairs,
+		Connected: d.pairs == int64(d.n)*int64(d.n-1),
+	}
+	for e := d.stride - 1; e >= 1; e-- {
+		if d.eccCnt[e] > 0 {
+			st.Diameter = int32(e)
+			break
+		}
+	}
+	if d.pairs > 0 {
+		st.AvgPath = float64(d.sum) / float64(d.pairs)
+	}
+	return st
+}
+
+// SumPairs returns the integer pair (Σ distances, connected ordered
+// pairs) — the exact quantities search cost functions combine, free of
+// float rounding.
+func (d *DeltaStats) SumPairs() (sum, pairs int64) { return d.sum, d.pairs }
+
+// Histogram returns the global distance histogram in the same form as
+// Graph.DistanceHistogram: hist[d] counts ordered pairs at distance
+// exactly d for d in [0, Diameter], hist[0] = 0.
+func (d *DeltaStats) Histogram() []int64 {
+	diam := int(d.Stats().Diameter)
+	out := make([]int64, diam+1)
+	copy(out, d.hist[:diam+1])
+	return out
+}
+
+// CanSwap reports whether sw is applicable to the current graph.
+func (d *DeltaStats) CanSwap(sw Swap) bool { return d.g.CanSwap(sw) }
+
+// Apply performs sw and delta-evaluates it: distances are recomputed
+// only from the dirty sources. It returns the number of sources
+// re-evaluated (n after a stride-growth rebuild). The previous state can
+// be restored with Revert until the next Apply or Resync.
+func (d *DeltaStats) Apply(sw Swap) int {
+	if !d.g.CanSwap(sw) {
+		panic(fmt.Sprintf("graph: DeltaStats.Apply: invalid %v", sw))
+	}
+	d.Evals++
+	d.undo.valid = true
+	d.undo.full = false
+	d.undo.sw = sw.Inverse()
+
+	d.buildRegion(sw)
+	d.dirty = d.dirty[:0]
+	if d.regionDists() {
+		d.findDirty(sw)
+	} else {
+		// A distance overflowed the uint8 probe encoding; treat every
+		// source as dirty. Correct, just not incremental.
+		for v := 0; v < d.n; v++ {
+			d.dirty = append(d.dirty, int32(v))
+		}
+	}
+	d.LastDirty = len(d.dirty)
+	d.DirtyTotal += int64(len(d.dirty))
+
+	d.backupDirty()
+	d.g.ApplySwap(sw)
+	if !d.reevalDirty() {
+		// Some dirty eccentricity outgrew the rows. Rebuild wholesale at
+		// a doubled stride; Revert handles this via its own rebuild.
+		d.undo.full = true
+		d.stride *= 2
+		d.rebuild()
+		d.FullRebuilds++
+		return d.n
+	}
+	return len(d.dirty)
+}
+
+// Revert undoes the most recent Apply. It panics if there is nothing to
+// revert (each Apply can be reverted at most once, and Resync clears the
+// backup).
+func (d *DeltaStats) Revert() {
+	if !d.undo.valid {
+		panic("graph: DeltaStats.Revert without a preceding Apply")
+	}
+	d.undo.valid = false
+	d.g.ApplySwap(d.undo.sw)
+	if d.undo.full {
+		d.rebuild()
+		return
+	}
+	for i, s := range d.undo.dirty {
+		copy(d.rows[int(s)*d.stride:(int(s)+1)*d.stride], d.undo.rows[i*d.stride:(i+1)*d.stride])
+		d.ecc[s] = d.undo.ecc[i]
+		d.srcSum[s] = d.undo.srcSum[i]
+		d.srcReached[s] = d.undo.srcReached[i]
+	}
+	d.sum, d.pairs = d.undo.sum, d.undo.pairs
+	copy(d.hist, d.undo.hist)
+	copy(d.eccCnt, d.undo.eccCnt)
+}
+
+// Resync recomputes every aggregate from scratch — the fixed-cadence
+// guard the search loop runs — and reports whether the incremental state
+// had drifted from the authoritative recomputation (it must never have;
+// the search loop counts a true return as a hard error). Resync
+// invalidates the Revert backup.
+func (d *DeltaStats) Resync() (drifted bool) {
+	d.Resyncs++
+	d.undo.valid = false
+	oldSum, oldPairs := d.sum, d.pairs
+	oldHist := append([]int64(nil), d.hist...)
+	oldEcc := append([]int32(nil), d.ecc...)
+	d.rebuild()
+	drifted = oldSum != d.sum || oldPairs != d.pairs
+	for dd := range d.hist {
+		var prev int64
+		if dd < len(oldHist) {
+			prev = oldHist[dd]
+		}
+		if d.hist[dd] != prev {
+			drifted = true
+		}
+	}
+	for v := range d.ecc {
+		if d.ecc[v] != oldEcc[v] {
+			drifted = true
+		}
+	}
+	return drifted
+}
+
+// rebuild recomputes rows and aggregates for the whole graph, growing
+// the stride until every eccentricity fits.
+func (d *DeltaStats) rebuild() {
+	for !d.tryBuild() {
+		d.stride *= 2
+	}
+}
+
+// tryBuild is one full recomputation attempt at the current stride.
+func (d *DeltaStats) tryBuild() bool {
+	if cap(d.rows) < d.n*d.stride {
+		d.rows = make([]int32, d.n*d.stride)
+	}
+	d.rows = d.rows[:d.n*d.stride]
+	if cap(d.hist) < d.stride {
+		d.hist = make([]int64, d.stride)
+		d.eccCnt = make([]int64, d.stride)
+	}
+	d.hist = d.hist[:d.stride]
+	d.eccCnt = d.eccCnt[:d.stride]
+	clear(d.hist)
+	clear(d.eccCnt)
+	d.sum, d.pairs = 0, 0
+	for base := 0; base < d.n; base += 64 {
+		lanes := min(64, d.n-base)
+		for i := 0; i < lanes; i++ {
+			d.srcs[i] = int32(base + i)
+		}
+		st, ok := d.g.BitBFSBatchRows(d.srcs[:lanes], &d.scratch, d.rows[base*d.stride:], d.stride)
+		if !ok {
+			return false
+		}
+		for l := 0; l < lanes; l++ {
+			s := base + l
+			d.ecc[s] = st.Ecc[l]
+			d.srcSum[s] = st.Sum[l]
+			d.srcReached[s] = st.Reached[l]
+			d.sum += st.Sum[l]
+			d.pairs += st.Reached[l]
+			d.eccCnt[st.Ecc[l]]++
+			for dd := 1; dd < d.stride; dd++ {
+				d.hist[dd] += int64(d.rows[s*d.stride+dd])
+			}
+		}
+	}
+	return true
+}
+
+// buildRegion collects the four endpoints of sw followed by their
+// (pre-swap) neighborhoods, deduplicated, and indexes them in regionIdx.
+// The endpoints always occupy lanes 0..3.
+func (d *DeltaStats) buildRegion(sw Swap) {
+	for _, v := range d.region {
+		d.regionIdx[v] = -1
+	}
+	d.region = d.region[:0]
+	add := func(v int32) {
+		if d.regionIdx[v] < 0 {
+			d.regionIdx[v] = int32(len(d.region))
+			d.region = append(d.region, v)
+		}
+	}
+	// Endpoints are distinct (CanSwap), so they take lanes 0..3.
+	add(sw.A)
+	add(sw.B)
+	add(sw.C)
+	add(sw.D)
+	for _, e := range [4]int32{sw.A, sw.B, sw.C, sw.D} {
+		for _, w := range d.g.Neighbors(int(e)) {
+			add(w)
+		}
+	}
+}
+
+// regionDists runs BitBFSBatchDist from every region vertex on the
+// pre-swap graph, assembling dists in vertex-major layout:
+// dists[s·R+idx] is the distance between source s and region[idx], with
+// R = len(region). Returns false if some distance exceeds the uint8
+// probe range.
+func (d *DeltaStats) regionDists() bool {
+	r := len(d.region)
+	need := d.n * r
+	if cap(d.dists) < need {
+		d.dists = make([]uint8, need)
+	}
+	d.dists = d.dists[:need]
+	for base := 0; base < r; base += 64 {
+		lanes := min(64, r-base)
+		if _, ok := d.g.BitBFSBatchDist(d.region[base:base+lanes], &d.scratch, d.dists[base:], r); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// findDirty appends to d.dirty every source whose distance vector can
+// change under sw, in ascending order.
+func (d *DeltaStats) findDirty(sw Swap) {
+	r := len(d.region)
+	for s := 0; s < d.n; s++ {
+		// All probe distances of source s sit in one contiguous row;
+		// the endpoints occupy indices 0..3 (buildRegion adds them
+		// first). Partner distances: each endpoint gains exactly one
+		// new edge (A~C, B~D), which can replace a lost shortest-path
+		// parent.
+		row := d.dists[s*r : (s+1)*r]
+		da, db, dc, dd := row[0], row[1], row[2], row[3]
+		if addedDirty(da, dc) || addedDirty(db, dd) ||
+			d.removedDirty(row, sw.A, sw.B, da, db, dc, dd) ||
+			d.removedDirty(row, sw.C, sw.D, dc, dd, da, db) {
+			d.dirty = append(d.dirty, int32(s))
+		}
+	}
+}
+
+// addedDirty reports whether adding an edge between vertices at
+// distances dx and dy from the source can change that source's distance
+// vector: only if the gap is ≥ 2 hops, or exactly one side is
+// unreachable.
+func addedDirty(dx, dy uint8) bool {
+	if dx == dy {
+		return false
+	}
+	if dx == DistUnreachable || dy == DistUnreachable {
+		return true
+	}
+	if dx > dy {
+		dx, dy = dy, dx
+	}
+	return dy-dx >= 2
+}
+
+// removedDirty reports whether removing existing edge {x,y} can change
+// the source's distances: the edge must be on the source's shortest-path
+// DAG and be the deeper endpoint's only parent edge — counting, as a
+// possible replacement parent, the new partner that endpoint gains from
+// the swap's added edges (px partners x, py partners y). Called on the
+// pre-swap graph, so Neighbors and the probe distances agree.
+func (d *DeltaStats) removedDirty(row []uint8, x, y int32, dx, dy, px, py uint8) bool {
+	if dx == dy {
+		return false // not a DAG edge (covers both-unreachable)
+	}
+	if dx > dy {
+		x, y = y, x
+		dx, dy = dy, dx
+		px, py = py, px
+	}
+	parent := dy - 1
+	if py == parent {
+		// The added edge hands y a parent at the same level, so the
+		// level-by-level induction goes through without x.
+		return false
+	}
+	for _, w := range d.g.Neighbors(int(y)) {
+		if w == x {
+			continue
+		}
+		if row[d.regionIdx[w]] == parent {
+			return false // y keeps another parent; all levels survive
+		}
+	}
+	return true
+}
+
+// backupDirty snapshots the state Apply is about to overwrite.
+func (d *DeltaStats) backupDirty() {
+	nd := len(d.dirty)
+	d.undo.dirty = append(d.undo.dirty[:0], d.dirty...)
+	if cap(d.undo.rows) < nd*d.stride {
+		d.undo.rows = make([]int32, nd*d.stride)
+	}
+	d.undo.rows = d.undo.rows[:nd*d.stride]
+	d.undo.ecc = append(d.undo.ecc[:0], make([]int32, nd)...)[:nd]
+	d.undo.srcSum = append(d.undo.srcSum[:0], make([]int64, nd)...)[:nd]
+	d.undo.srcReached = append(d.undo.srcReached[:0], make([]int64, nd)...)[:nd]
+	for i, s := range d.dirty {
+		copy(d.undo.rows[i*d.stride:(i+1)*d.stride], d.rows[int(s)*d.stride:(int(s)+1)*d.stride])
+		d.undo.ecc[i] = d.ecc[s]
+		d.undo.srcSum[i] = d.srcSum[s]
+		d.undo.srcReached[i] = d.srcReached[s]
+	}
+	d.undo.sum, d.undo.pairs = d.sum, d.pairs
+	d.undo.hist = append(d.undo.hist[:0], d.hist...)
+	d.undo.eccCnt = append(d.undo.eccCnt[:0], d.eccCnt...)
+}
+
+// reevalDirty recomputes the dirty sources on the post-swap graph and
+// folds the differences into the aggregates. Returns false on stride
+// overflow.
+func (d *DeltaStats) reevalDirty() bool {
+	if cap(d.rowBuf) < 64*d.stride {
+		d.rowBuf = make([]int32, 64*d.stride)
+	}
+	d.rowBuf = d.rowBuf[:64*d.stride]
+	for base := 0; base < len(d.dirty); base += 64 {
+		lanes := min(64, len(d.dirty)-base)
+		st, ok := d.g.BitBFSBatchRows(d.dirty[base:base+lanes], &d.scratch, d.rowBuf, d.stride)
+		if !ok {
+			return false
+		}
+		for l := 0; l < lanes; l++ {
+			s := int(d.dirty[base+l])
+			row := d.rows[s*d.stride : (s+1)*d.stride]
+			newRow := d.rowBuf[l*d.stride : (l+1)*d.stride]
+			for dd := 1; dd < d.stride; dd++ {
+				d.hist[dd] += int64(newRow[dd]) - int64(row[dd])
+			}
+			copy(row, newRow)
+			d.sum += st.Sum[l] - d.srcSum[s]
+			d.pairs += st.Reached[l] - d.srcReached[s]
+			d.srcSum[s] = st.Sum[l]
+			d.srcReached[s] = st.Reached[l]
+			d.eccCnt[d.ecc[s]]--
+			d.eccCnt[st.Ecc[l]]++
+			d.ecc[s] = int32(st.Ecc[l])
+		}
+	}
+	return true
+}

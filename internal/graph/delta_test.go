@@ -1,0 +1,231 @@
+// External-package tests for DeltaStats: the delta-vs-full property
+// sweep runs on real topology families (ER, PolarStar, random-regular),
+// which live in internal/topo and therefore cannot be imported from
+// package graph itself.
+package graph_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"polarstar/internal/graph"
+	"polarstar/internal/topo"
+)
+
+func validSwap(t testing.TB, g *graph.Graph, rng *rand.Rand) graph.Swap {
+	t.Helper()
+	edges := g.Edges()
+	for try := 0; try < 20000; try++ {
+		e1 := edges[rng.Intn(len(edges))]
+		e2 := edges[rng.Intn(len(edges))]
+		sw := graph.Swap{A: int32(e1[0]), B: int32(e1[1]), C: int32(e2[0]), D: int32(e2[1])}
+		if rng.Intn(2) == 0 {
+			sw.A, sw.B = sw.B, sw.A
+		}
+		if rng.Intn(2) == 0 {
+			sw.C, sw.D = sw.D, sw.C
+		}
+		if g.CanSwap(sw) {
+			return sw
+		}
+	}
+	t.Fatal("no valid swap found")
+	return graph.Swap{}
+}
+
+// checkDelta asserts the incremental aggregates match a from-scratch
+// scalar recomputation of the current graph, field for field.
+func checkDelta(t *testing.T, d *graph.DeltaStats) {
+	t.Helper()
+	want := d.Graph().AllPairsStatsScalar()
+	got := d.Stats()
+	if got != want {
+		t.Fatalf("delta stats %+v, scalar recomputation %+v", got, want)
+	}
+	wantHist := d.Graph().DistanceHistogram()
+	gotHist := d.Histogram()
+	if !reflect.DeepEqual(gotHist, wantHist) {
+		t.Fatalf("delta histogram %v, full recomputation %v", gotHist, wantHist)
+	}
+}
+
+// TestDeltaStatsProperty is the delta-vs-full property sweep from the
+// issue: 200 random 2-opt swaps on ER, PolarStar, and random-regular
+// graphs, asserting ASPL/diameter/histogram equal the scalar oracle
+// after every swap. Half the swaps are reverted to exercise the undo
+// path, and a periodic Resync must report zero drift.
+func TestDeltaStatsProperty(t *testing.T) {
+	er, err := topo.NewER(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := topo.NewPolarStar(4, 3, topo.KindIQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jf, err := topo.NewJellyfish(64, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ER7", er.G},
+		{"PolarStarIQ43", ps.G},
+		{"Jellyfish64x4", jf},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := graph.NewDeltaStats(tc.g)
+			checkDelta(t, d)
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 200; i++ {
+				sw := validSwap(t, d.Graph(), rng)
+				before := d.Stats()
+				d.Apply(sw)
+				checkDelta(t, d)
+				if rng.Intn(2) == 0 {
+					d.Revert()
+					if got := d.Stats(); got != before {
+						t.Fatalf("swap %d: revert gave %+v, want %+v", i, got, before)
+					}
+					checkDelta(t, d)
+				}
+				if i%50 == 49 {
+					if d.Resync() {
+						t.Fatalf("swap %d: Resync reported drift", i)
+					}
+					checkDelta(t, d)
+				}
+			}
+			if d.Evals != 200 {
+				t.Errorf("Evals = %d, want 200", d.Evals)
+			}
+			if d.DirtyTotal <= 0 {
+				t.Error("DirtyTotal not accumulated")
+			}
+			// The swap region is bounded by four closed neighborhoods,
+			// so on these sparse graphs most swaps must be far cheaper
+			// than a full recomputation.
+			if avg := float64(d.DirtyTotal) / float64(d.Evals); avg >= float64(tc.g.N()) {
+				t.Errorf("average dirty set %.1f not below n=%d", avg, tc.g.N())
+			}
+		})
+	}
+}
+
+// TestDeltaStatsDisconnected drives swaps that merge and split
+// components: two disjoint cycles where cross-swaps reconnect them,
+// checking unreachable-pair accounting against the oracle.
+func TestDeltaStatsDisconnected(t *testing.T) {
+	b := graph.NewBuilder("2cycles", 24)
+	for i := 0; i < 12; i++ {
+		b.AddEdge(i, (i+1)%12)
+		b.AddEdge(12+i, 12+(i+1)%12)
+	}
+	d := graph.NewDeltaStats(b.Build())
+	checkDelta(t, d)
+	if d.Stats().Connected {
+		t.Fatal("two disjoint cycles reported connected")
+	}
+	// Cross swap: remove {0,1} and {12,13}, add {0,12},{1,13} — joins
+	// the components into one cycle.
+	join := graph.Swap{A: 0, B: 1, C: 12, D: 13}
+	d.Apply(join)
+	checkDelta(t, d)
+	if !d.Stats().Connected {
+		t.Fatal("cross swap should have connected the graph")
+	}
+	d.Revert()
+	checkDelta(t, d)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 60; i++ {
+		d.Apply(validSwap(t, d.Graph(), rng))
+		checkDelta(t, d)
+	}
+}
+
+// TestDeltaStatsStrideGrowth forces an Apply whose re-evaluation
+// overflows the initial row width, exercising the rebuild fallback and
+// its Revert path.
+func TestDeltaStatsStrideGrowth(t *testing.T) {
+	// C32 has eccentricity 16 ≥ initStride, so NewDeltaStats already
+	// grows; start instead from a graph under the limit whose swap
+	// stretches it: two C7s joined into one C14-like structure.
+	b := graph.NewBuilder("2c7", 14)
+	for i := 0; i < 7; i++ {
+		b.AddEdge(i, (i+1)%7)
+		b.AddEdge(7+i, 7+(i+1)%7)
+	}
+	d := graph.NewDeltaStats(b.Build())
+	before := d.Stats()
+	d.Apply(graph.Swap{A: 0, B: 1, C: 7, D: 8}) // one long cycle: ecc 7 ≥ 8? C14 ecc = 7 < 8
+	checkDelta(t, d)
+	d.Revert()
+	if got := d.Stats(); got != before {
+		t.Fatalf("revert gave %+v, want %+v", got, before)
+	}
+	checkDelta(t, d)
+
+	// Directly provoke growth: a path long enough that re-wiring pushes
+	// eccentricities past the stride.
+	p := graph.NewBuilder("p20", 20)
+	for i := 0; i+1 < 20; i++ {
+		p.AddEdge(i, i+1)
+	}
+	dp := graph.NewDeltaStats(p.Build())
+	checkDelta(t, dp)
+	if dp.Stats().Diameter != 19 {
+		t.Fatalf("P20 diameter %d", dp.Stats().Diameter)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		dp.Apply(validSwap(t, dp.Graph(), rng))
+		checkDelta(t, dp)
+	}
+}
+
+// benchDeltaApply measures the incremental cost per applied swap on an
+// n-vertex random-regular graph — the quantity the ≥5x acceptance
+// criterion compares against benchDeltaFull on the same graph. Swap
+// generation runs off the clock.
+func benchDeltaApply(b *testing.B, n int) {
+	g, err := topo.NewJellyfish(n, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := graph.NewDeltaStats(g)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sw := validSwap(b, d.Graph(), rng)
+		b.StartTimer()
+		d.Apply(sw)
+	}
+	b.StopTimer()
+	if d.Resync() {
+		b.Fatal("drift after benchmark swaps")
+	}
+}
+
+// benchDeltaFull is the baseline the delta path is measured against:
+// one full bit-BFS all-pairs pass on the same graph.
+func benchDeltaFull(b *testing.B, n int) {
+	g, err := topo.NewJellyfish(n, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s graph.BitBFSScratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllPairsStatsSerial(&s)
+	}
+}
+
+func BenchmarkDeltaApply(b *testing.B)          { benchDeltaApply(b, 1024) }
+func BenchmarkDeltaFullAllPairs(b *testing.B)   { benchDeltaFull(b, 1024) }
+func BenchmarkDeltaApply4k(b *testing.B)        { benchDeltaApply(b, 4096) }
+func BenchmarkDeltaFullAllPairs4k(b *testing.B) { benchDeltaFull(b, 4096) }

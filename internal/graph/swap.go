@@ -1,0 +1,127 @@
+// 2-opt edge swaps: the move set of the incremental-ASPL design-space
+// search (internal/search, cmd/pssearch).
+//
+// A 2-opt swap removes two vertex-disjoint edges {A,B} and {C,D} and adds
+// {A,C} and {B,D}. Every vertex loses exactly one neighbor and gains
+// exactly one, so the degree sequence — and therefore the CSR offset
+// array — is invariant: the swap edits four sorted neighbor windows in
+// place and never reallocates. That in-place property is what makes the
+// delta-evaluated search loop allocation-free per move (DeltaStats).
+//
+// Graphs stay immutable for every other consumer: ApplySwap may only be
+// called on a graph obtained from CloneEditable, which deep-copies the
+// CSR arrays so the original and all graphs sharing its storage are
+// untouched.
+package graph
+
+import "fmt"
+
+// Swap is a 2-opt edge exchange: remove edges {A,B} and {C,D}, add edges
+// {A,C} and {B,D}. All four vertices must be distinct.
+type Swap struct {
+	A, B, C, D int32
+}
+
+// Inverse returns the swap that undoes sw: it removes {A,C} and {B,D}
+// and re-adds {A,B} and {C,D}.
+func (sw Swap) Inverse() Swap { return Swap{sw.A, sw.C, sw.B, sw.D} }
+
+func (sw Swap) String() string {
+	return fmt.Sprintf("swap{-%d~%d -%d~%d +%d~%d +%d~%d}", sw.A, sw.B, sw.C, sw.D, sw.A, sw.C, sw.B, sw.D)
+}
+
+// CloneEditable returns a deep copy of g whose CSR storage is private,
+// making it safe to mutate with ApplySwap. The copy shares only the
+// immutable loop annotations. One editable clone belongs to one
+// goroutine; the bit-BFS kernels may still read it between swaps.
+func (g *Graph) CloneEditable() *Graph {
+	h := *g
+	h.off = append([]int32(nil), g.off...)
+	h.nbr = append([]int32(nil), g.nbr...)
+	if g.adj != nil {
+		h.adj = append([]uint64(nil), g.adj...)
+	}
+	return &h
+}
+
+// CanSwap reports whether sw is applicable to g: the four vertices are
+// distinct and in range, both removed edges exist, and neither added
+// edge does. A valid swap preserves every vertex degree and the loop
+// annotations.
+func (g *Graph) CanSwap(sw Swap) bool {
+	a, b, c, d := int(sw.A), int(sw.B), int(sw.C), int(sw.D)
+	if a < 0 || b < 0 || c < 0 || d < 0 || a >= g.n || b >= g.n || c >= g.n || d >= g.n {
+		return false
+	}
+	if a == b || a == c || a == d || b == c || b == d || c == d {
+		return false
+	}
+	return g.HasEdge(a, b) && g.HasEdge(c, d) && !g.HasEdge(a, c) && !g.HasEdge(b, d)
+}
+
+// ApplySwap performs sw on g in place. g must come from CloneEditable
+// (or otherwise own its CSR storage exclusively); the swap must satisfy
+// CanSwap or ApplySwap panics. Offsets, degrees and loops are unchanged;
+// the four affected neighbor windows are re-sorted in place and the
+// adjacency bitmap (when present) is updated, so ChannelID/HasEdge stay
+// exact. Channel ids of arcs out of the four endpoints are renumbered by
+// the edit; cached per-channel state must not be carried across a swap.
+func (g *Graph) ApplySwap(sw Swap) {
+	if !g.CanSwap(sw) {
+		panic(fmt.Sprintf("graph: ApplySwap: invalid %v on %s", sw, g.name))
+	}
+	g.replaceNeighbor(sw.A, sw.B, sw.C)
+	g.replaceNeighbor(sw.B, sw.A, sw.D)
+	g.replaceNeighbor(sw.C, sw.D, sw.A)
+	g.replaceNeighbor(sw.D, sw.C, sw.B)
+	if g.adj != nil {
+		g.adjClear(sw.A, sw.B)
+		g.adjClear(sw.C, sw.D)
+		g.adjSet(sw.A, sw.C)
+		g.adjSet(sw.B, sw.D)
+	}
+}
+
+// replaceNeighbor substitutes newV for oldV in u's sorted neighbor
+// window, shifting the in-between entries to restore sorted order.
+func (g *Graph) replaceNeighbor(u, oldV, newV int32) {
+	list := g.nbr[g.off[u]:g.off[u+1]]
+	// Binary search for oldV (the window is sorted).
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < oldV {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
+	switch {
+	case newV > oldV:
+		for i+1 < len(list) && list[i+1] < newV {
+			list[i] = list[i+1]
+			i++
+		}
+	case newV < oldV:
+		for i > 0 && list[i-1] > newV {
+			list[i] = list[i-1]
+			i--
+		}
+	}
+	list[i] = newV
+}
+
+func (g *Graph) adjSet(u, v int32) {
+	b1 := int(u)*g.n + int(v)
+	b2 := int(v)*g.n + int(u)
+	g.adj[b1>>6] |= 1 << (uint(b1) & 63)
+	g.adj[b2>>6] |= 1 << (uint(b2) & 63)
+}
+
+func (g *Graph) adjClear(u, v int32) {
+	b1 := int(u)*g.n + int(v)
+	b2 := int(v)*g.n + int(u)
+	g.adj[b1>>6] &^= 1 << (uint(b1) & 63)
+	g.adj[b2>>6] &^= 1 << (uint(b2) & 63)
+}

@@ -1,0 +1,298 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// gnp builds a deterministic G(n,p)-style graph for swap tests.
+func gnp(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("rand", n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// randomValidSwap draws a uniformly random applicable swap, or fails the
+// test if none is found in a bounded number of attempts.
+func randomValidSwap(t testing.TB, g *Graph, rng *rand.Rand) Swap {
+	t.Helper()
+	edges := g.Edges()
+	for try := 0; try < 10000; try++ {
+		e1 := edges[rng.Intn(len(edges))]
+		e2 := edges[rng.Intn(len(edges))]
+		sw := Swap{int32(e1[0]), int32(e1[1]), int32(e2[0]), int32(e2[1])}
+		if rng.Intn(2) == 0 {
+			sw.A, sw.B = sw.B, sw.A
+		}
+		if rng.Intn(2) == 0 {
+			sw.C, sw.D = sw.D, sw.C
+		}
+		if g.CanSwap(sw) {
+			return sw
+		}
+	}
+	t.Fatal("no valid swap found")
+	return Swap{}
+}
+
+// checkSorted verifies every neighbor window is strictly sorted.
+func checkSorted(t *testing.T, g *Graph) {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		nb := g.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("vertex %d neighbors not strictly sorted: %v", v, nb)
+			}
+		}
+	}
+}
+
+func TestCloneEditableIsolation(t *testing.T) {
+	g := cycle(8)
+	h := g.CloneEditable()
+	sw := randomValidSwap(t, h, rand.New(rand.NewSource(1)))
+	h.ApplySwap(sw)
+	if !g.HasEdge(int(sw.A), int(sw.B)) || !g.HasEdge(int(sw.C), int(sw.D)) {
+		t.Fatal("ApplySwap on clone mutated the original graph")
+	}
+	if g.HasEdge(int(sw.A), int(sw.C)) || g.HasEdge(int(sw.B), int(sw.D)) {
+		t.Fatal("added edges leaked into the original graph")
+	}
+}
+
+func TestCanSwapRejections(t *testing.T) {
+	g := cycle(6) // edges {i, i+1 mod 6}
+	cases := []struct {
+		name string
+		sw   Swap
+	}{
+		{"out of range", Swap{0, 1, 2, 6}},
+		{"negative", Swap{-1, 1, 2, 3}},
+		{"duplicate vertex", Swap{0, 1, 1, 2}},
+		{"removed edge missing", Swap{0, 2, 3, 4}},
+		{"added edge exists", Swap{0, 1, 2, 3}}, // would add {1,2}... wait
+	}
+	// Swap{0,1,2,3}: removes {0,1},{2,3}; adds {0,2},{1,3} — both absent
+	// in C6, so that one is actually valid; replace with one whose added
+	// edge exists: Swap{1,0,2,3} adds {1,2} which exists.
+	cases[4].sw = Swap{1, 0, 2, 3}
+	for _, tc := range cases {
+		if g.CanSwap(tc.sw) {
+			t.Errorf("%s: CanSwap(%v) = true, want false", tc.name, tc.sw)
+		}
+	}
+	if !g.CanSwap(Swap{0, 1, 2, 3}) {
+		t.Error("CanSwap rejected a valid swap on C6")
+	}
+}
+
+func TestApplySwapInvalidPanics(t *testing.T) {
+	g := cycle(6).CloneEditable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ApplySwap on an invalid swap did not panic")
+		}
+	}()
+	g.ApplySwap(Swap{0, 2, 3, 4})
+}
+
+// TestApplySwapInverseRestores pins that Apply(sw) then Apply(sw.Inverse())
+// restores the CSR arrays exactly, across many random swaps on graphs
+// with and without the adjacency bitmap.
+func TestApplySwapInverseRestores(t *testing.T) {
+	for _, n := range []int{16, 80, 2100} { // 2100 > adjBitmapMax: no bitmap
+		g := gnp(n, 8.0/float64(n), int64(n))
+		h := g.CloneEditable()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 50; i++ {
+			sw := randomValidSwap(t, h, rng)
+			h.ApplySwap(sw)
+			checkSorted(t, h)
+			if h.HasEdge(int(sw.A), int(sw.B)) || h.HasEdge(int(sw.C), int(sw.D)) {
+				t.Fatalf("swap %v: removed edge still present", sw)
+			}
+			if !h.HasEdge(int(sw.A), int(sw.C)) || !h.HasEdge(int(sw.B), int(sw.D)) {
+				t.Fatalf("swap %v: added edge missing", sw)
+			}
+			h.ApplySwap(sw.Inverse())
+		}
+		if !reflect.DeepEqual(h.nbr, g.nbr) || !reflect.DeepEqual(h.off, g.off) {
+			t.Fatalf("n=%d: CSR not restored after swap+inverse round trips", n)
+		}
+		if !reflect.DeepEqual(h.adj, g.adj) {
+			t.Fatalf("n=%d: adjacency bitmap not restored", n)
+		}
+	}
+}
+
+// TestApplySwapMatchesRebuild cross-checks the in-place edit against a
+// graph rebuilt from scratch from the edited edge set: neighbor windows,
+// HasEdge (bitmap path), and degree sequence must all agree.
+func TestApplySwapMatchesRebuild(t *testing.T) {
+	g := gnp(60, 0.15, 3).CloneEditable()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		sw := randomValidSwap(t, g, rng)
+		g.ApplySwap(sw)
+	}
+	b := NewBuilder("rebuilt", g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(e[0], e[1])
+	}
+	want := b.Build()
+	if !reflect.DeepEqual(g.nbr, want.nbr) || !reflect.DeepEqual(g.off, want.off) {
+		t.Fatal("edited CSR differs from rebuild")
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if g.HasEdge(u, v) != want.HasEdge(u, v) {
+				t.Fatalf("HasEdge(%d,%d) = %v disagrees with rebuild", u, v, g.HasEdge(u, v))
+			}
+		}
+	}
+}
+
+// TestBitBFSScratchCrossSizeReuse pins that one BitBFSScratch can be
+// reused across graphs of different vertex counts — shrink, regrow, and
+// shrink again — with results identical to a fresh scratch each time.
+func TestBitBFSScratchCrossSizeReuse(t *testing.T) {
+	sizes := []int{100, 40, 100, 7, 73}
+	var shared BitBFSScratch
+	for i, n := range sizes {
+		g := gnp(n, 6.0/float64(n), int64(i+1))
+		var fresh BitBFSScratch
+		gotStats := g.AllPairsStatsSerial(&shared)
+		wantStats := g.AllPairsStatsSerial(&fresh)
+		if gotStats != wantStats {
+			t.Fatalf("step %d (n=%d): reused scratch gave %+v, fresh %+v", i, n, gotStats, wantStats)
+		}
+		srcs := make([]int32, min(64, n))
+		for j := range srcs {
+			srcs[j] = int32(j)
+		}
+		st1, _ := g.BitBFSBatch(srcs, &shared, nil, nil)
+		st2, _ := g.BitBFSBatch(srcs, &fresh, nil, nil)
+		if st1 != st2 {
+			t.Fatalf("step %d (n=%d): BitBFSBatch disagrees across scratch reuse", i, n)
+		}
+	}
+}
+
+func TestBitBFSScratchDivergedPanics(t *testing.T) {
+	s := &BitBFSScratch{visited: make([]uint64, 4), frontier: make([]uint64, 2), next: make([]uint64, 4)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("diverged scratch did not panic")
+		}
+	}()
+	s.reset(3)
+}
+
+// TestBitBFSBatchDist checks the per-lane distance vectors against the
+// scalar BFS oracle, including unreachable encoding.
+func TestBitBFSBatchDist(t *testing.T) {
+	graphs := []*Graph{
+		path(9),
+		cycle(12),
+		gnp(130, 0.04, 5), // sparse: likely disconnected
+		complete(5),
+	}
+	var s BitBFSScratch
+	for _, g := range graphs {
+		n := g.N()
+		srcs := make([]int32, min(64, n))
+		for j := range srcs {
+			srcs[j] = int32(n-1) - int32(j) // non-trivial source order
+		}
+		stride := len(srcs)
+		dist := make([]uint8, n*stride)
+		st, ok := g.BitBFSBatchDist(srcs, &s, dist, stride)
+		if !ok {
+			t.Fatalf("%s: unexpected distance overflow", g.Name())
+		}
+		ref := make([]int32, n)
+		var bs BFSScratch
+		for l, src := range srcs {
+			ref = g.BFSDistancesScratch(int(src), ref, &bs)
+			var sum, reached int64
+			var ecc int32
+			for v := 0; v < n; v++ {
+				want := uint8(DistUnreachable)
+				if ref[v] != Unreachable {
+					want = uint8(ref[v])
+					if v != int(src) {
+						sum += int64(ref[v])
+						reached++
+						if ref[v] > ecc {
+							ecc = ref[v]
+						}
+					}
+				}
+				if dist[v*stride+l] != want {
+					t.Fatalf("%s src %d: dist[%d] = %d, want %d", g.Name(), src, v, dist[v*stride+l], want)
+				}
+			}
+			if st.Sum[l] != sum || st.Reached[l] != reached || st.Ecc[l] != ecc {
+				t.Fatalf("%s src %d: stats lane %d = (%d,%d,%d), want (%d,%d,%d)",
+					g.Name(), src, l, st.Sum[l], st.Reached[l], st.Ecc[l], sum, reached, ecc)
+			}
+		}
+	}
+}
+
+// TestBitBFSBatchRows checks per-lane level counts against scalar BFS
+// and pins the stride-overflow contract.
+func TestBitBFSBatchRows(t *testing.T) {
+	g := gnp(90, 0.05, 9)
+	n := g.N()
+	srcs := make([]int32, 64)
+	for j := range srcs {
+		srcs[j] = int32(j)
+	}
+	const stride = 16
+	rows := make([]int32, len(srcs)*stride)
+	st, ok := g.BitBFSBatchRows(srcs, &BitBFSScratch{}, rows, stride)
+	if !ok {
+		t.Fatal("unexpected stride overflow at stride 16")
+	}
+	ref := make([]int32, n)
+	var bs BFSScratch
+	for l, src := range srcs {
+		ref = g.BFSDistancesScratch(int(src), ref, &bs)
+		want := make([]int32, stride)
+		for v := 0; v < n; v++ {
+			if ref[v] != Unreachable && ref[v] > 0 {
+				want[ref[v]]++
+			}
+		}
+		for d := 0; d < stride; d++ {
+			if rows[l*stride+d] != want[d] {
+				t.Fatalf("src %d level %d: count %d, want %d", src, d, rows[l*stride+d], want[d])
+			}
+		}
+		if int(st.Ecc[l]) >= stride {
+			t.Fatalf("src %d: ecc %d overflows stride without ok=false", src, st.Ecc[l])
+		}
+	}
+
+	// Overflow contract: P300 has eccentricities up to 299 — stride 8
+	// must be rejected, stride 300 must succeed.
+	p := path(300)
+	small := make([]int32, 8)
+	if _, ok := p.BitBFSBatchRows([]int32{0}, &BitBFSScratch{}, small, 8); ok {
+		t.Fatal("stride 8 on P300 should overflow")
+	}
+	big := make([]int32, 300)
+	if _, ok := p.BitBFSBatchRows([]int32{0}, &BitBFSScratch{}, big, 300); !ok {
+		t.Fatal("stride 300 on P300 should fit")
+	}
+}

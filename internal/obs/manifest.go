@@ -72,6 +72,7 @@ type Run struct {
 	FaultTraffic *FaultTraffic `json:"fault_traffic,omitempty"`
 	Flows        []*FlowRun    `json:"flows,omitempty"`
 	Figures      []*Figure     `json:"figures,omitempty"`
+	Search       *SearchRun    `json:"search,omitempty"`
 
 	Timing *Timing `json:"timing,omitempty"`
 

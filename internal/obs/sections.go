@@ -207,3 +207,54 @@ type Figure struct {
 	Sims   []*SimSweep   `json:"sims,omitempty"`
 	Faults []*FaultSweep `json:"faults,omitempty"`
 }
+
+// SearchEpoch is one barrier point of a pssearch best-cost trajectory
+// (mirrors search.EpochStat; obs stays dependency-free).
+type SearchEpoch struct {
+	Epoch    int     `json:"epoch"`
+	BestCost int64   `json:"best_cost"`
+	BestASPL float64 `json:"best_aspl"`
+	Proposed int64   `json:"proposed"`
+	Accepted int64   `json:"accepted"`
+}
+
+// SearchRun is the metric set of one cmd/pssearch invocation: the
+// annealing telemetry (all deterministic), the best graph found with its
+// optimality gap against the Moore-type ASPL lower bound, and — only
+// when timing is enabled — the volatile throughput numbers.
+type SearchRun struct {
+	Graph     string `json:"graph"`
+	N         int    `json:"n"`
+	Degree    int    `json:"degree"`
+	Seed      int64  `json:"seed"`
+	Searchers int    `json:"searchers"`
+	Epochs    int    `json:"epochs"`
+	Iters     int    `json:"iters_per_epoch"`
+
+	Proposed     Counter `json:"proposed"`
+	Accepted     Counter `json:"accepted"`
+	Invalid      Counter `json:"invalid"`
+	Evals        Counter `json:"evals"`
+	DirtyTotal   Counter `json:"dirty_total"`
+	FullRebuilds Counter `json:"full_rebuilds"`
+	Resyncs      Counter `json:"resyncs"`
+	Drift        Counter `json:"drift"`
+
+	AcceptRate float64 `json:"accept_rate"`
+	AvgDirty   float64 `json:"avg_dirty"` // mean re-evaluated sources per applied swap
+
+	BestCost     int64   `json:"best_cost"`
+	BestASPL     float64 `json:"best_aspl"`
+	BestDiameter int32   `json:"best_diameter"`
+	Connected    bool    `json:"connected"`
+	StartASPL    float64 `json:"start_aspl"`
+	LowerBound   float64 `json:"aspl_lower_bound"`
+	GapPct       float64 `json:"gap_pct"` // (best − bound)/bound·100
+
+	Trajectory []SearchEpoch `json:"trajectory,omitempty"`
+
+	// Volatile: populated only when the caller includes timing
+	// (-metrics-timing), so artifacts stay byte-identical without it.
+	SwapsPerSec float64    `json:"swaps_per_sec,omitempty"`
+	EvalNS      *Histogram `json:"eval_ns,omitempty"`
+}

@@ -1,0 +1,32 @@
+package search
+
+// splitmix is the splitmix64 generator used throughout the repository
+// for per-entity deterministic streams (cf. internal/sim). Each searcher
+// seeds one from (run seed, searcher id), so its draw sequence is a pure
+// function of those two values — independent of worker count, schedule,
+// or the other searchers.
+type splitmix struct{ x uint64 }
+
+func newSplitmix(runSeed int64, id int) splitmix {
+	return splitmix{x: uint64(runSeed)*0x9E3779B97F4A7C15 ^ (uint64(id)+1)*0xBF58476D1CE4E5B9}
+}
+
+func (s *splitmix) uint64() uint64 {
+	s.x += 0x9E3779B97F4A7C15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a draw in [0, n). The modulo bias at the n values used
+// here (arc counts ≪ 2⁶⁴) is far below anything the annealer could
+// perceive, and the simple form keeps replay trivially stable.
+func (s *splitmix) intn(n int) int {
+	return int(s.uint64() % uint64(n))
+}
+
+// float64 returns a draw in [0, 1) with 53 random bits.
+func (s *splitmix) float64() float64 {
+	return float64(s.uint64()>>11) / (1 << 53)
+}

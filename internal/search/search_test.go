@@ -1,0 +1,235 @@
+package search
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"polarstar/internal/graph"
+	"polarstar/internal/topo"
+)
+
+func startGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := topo.NewJellyfish(64, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testParams() Params {
+	return Params{
+		Seed:        7,
+		Searchers:   4,
+		Epochs:      4,
+		Iters:       200,
+		InitTemp:    40,
+		Cooling:     0.8,
+		ResyncEvery: 64,
+	}
+}
+
+func runOnce(t testing.TB, workers int) *Result {
+	t.Helper()
+	p := testParams()
+	p.Workers = workers
+	e, err := New(startGraph(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run()
+}
+
+// TestSearchDeterminism pins the determinism contract: identical results
+// at workers 1, 4 and 16 — best graph, cost, trajectory, every counter.
+func TestSearchDeterminism(t *testing.T) {
+	ref := runOnce(t, 1)
+	for _, workers := range []int{4, 16} {
+		got := runOnce(t, workers)
+		if got.BestCost != ref.BestCost {
+			t.Errorf("workers=%d: best cost %d != %d", workers, got.BestCost, ref.BestCost)
+		}
+		if got.Stats != ref.Stats {
+			t.Errorf("workers=%d: stats %+v != %+v", workers, got.Stats, ref.Stats)
+		}
+		if !reflect.DeepEqual(got.Trajectory, ref.Trajectory) {
+			t.Errorf("workers=%d: trajectories differ", workers)
+		}
+		if got.Counters != ref.Counters {
+			t.Errorf("workers=%d: counters %+v != %+v", workers, got.Counters, ref.Counters)
+		}
+		if !reflect.DeepEqual(got.Best.Edges(), ref.Best.Edges()) {
+			t.Errorf("workers=%d: best graphs differ", workers)
+		}
+	}
+	if ref.Counters.Drift != 0 {
+		t.Errorf("resync drift detected: %d", ref.Counters.Drift)
+	}
+}
+
+// TestSearchImproves checks the annealer actually lowers the cost on a
+// random-regular start, that the reported stats match the returned
+// graph, and that the best graph preserves the degree sequence.
+func TestSearchImproves(t *testing.T) {
+	start := startGraph(t)
+	startCost := startCostOf(t, start)
+	r := runOnce(t, 1)
+	if r.BestCost >= startCost {
+		t.Errorf("search did not improve: %d -> %d", startCost, r.BestCost)
+	}
+	if got := r.Best.AllPairsStats(); got != r.Stats {
+		t.Errorf("result stats %+v do not match best graph %+v", r.Stats, got)
+	}
+	for v := 0; v < start.N(); v++ {
+		if r.Best.Degree(v) != start.Degree(v) {
+			t.Fatalf("vertex %d degree changed: %d -> %d", v, start.Degree(v), r.Best.Degree(v))
+		}
+	}
+	if len(r.Trajectory) != 4 {
+		t.Errorf("trajectory has %d points, want 4", len(r.Trajectory))
+	}
+	last := r.Trajectory[len(r.Trajectory)-1]
+	if last.BestCost != r.BestCost {
+		t.Errorf("trajectory tail %d != result %d", last.BestCost, r.BestCost)
+	}
+}
+
+func startCostOf(t testing.TB, g *graph.Graph) int64 {
+	t.Helper()
+	d := graph.NewDeltaStats(g)
+	return costOf(d, g.N())
+}
+
+// TestCheckpointRoundTrip pins byte-stability: checkpoint → write → read
+// → restore → checkpoint must reproduce identical bytes, and a run
+// resumed at the same epoch target is a no-op.
+func TestCheckpointRoundTrip(t *testing.T) {
+	p := testParams()
+	p.Workers = 2
+	e, err := New(startGraph(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.json")
+	pathB := filepath.Join(dir, "b.json")
+	if err := WriteCheckpoint(pathA, e.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpoint(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Restore(cp, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Run() // epochs already completed: must be a no-op
+	if err := WriteCheckpoint(pathB, e2.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(pathA)
+	b, _ := os.ReadFile(pathB)
+	if !bytes.Equal(a, b) {
+		t.Fatal("checkpoint round trip is not byte-stable")
+	}
+}
+
+// TestResumeMatchesUninterrupted: stopping after 2 epochs and resuming
+// to 4 yields exactly the result of running 4 straight.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	straight := runOnce(t, 1)
+
+	p := testParams()
+	p.Epochs = 2
+	p.Workers = 1
+	e, err := New(startGraph(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	cp := e.Checkpoint()
+	// Serialize/deserialize to prove resume works from the file format,
+	// not from live state.
+	path := filepath.Join(t.TempDir(), "cp.json")
+	if err := WriteCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Restore(cp2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := e2.Run()
+	if resumed.BestCost != straight.BestCost || resumed.Counters != straight.Counters {
+		t.Errorf("resumed run differs: cost %d vs %d, counters %+v vs %+v",
+			resumed.BestCost, straight.BestCost, resumed.Counters, straight.Counters)
+	}
+	if !reflect.DeepEqual(resumed.Trajectory, straight.Trajectory) {
+		t.Error("resumed trajectory differs from uninterrupted run")
+	}
+	if !reflect.DeepEqual(resumed.Best.Edges(), straight.Best.Edges()) {
+		t.Error("resumed best graph differs from uninterrupted run")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	e, err := New(startGraph(t), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := e.Checkpoint()
+
+	bad := *good
+	bad.Schema = "nope/v0"
+	if _, err := Restore(&bad, 1, 0); err == nil {
+		t.Error("bad schema accepted")
+	}
+
+	bad = *good
+	bad.States = bad.States[:1]
+	if _, err := Restore(&bad, 1, 0); err == nil {
+		t.Error("truncated states accepted")
+	}
+
+	bad = *good
+	states := append([]SearcherState(nil), good.States...)
+	states[0].Cost += 5
+	bad.States = states
+	if _, err := Restore(&bad, 1, 0); err == nil {
+		t.Error("cost/graph mismatch accepted")
+	}
+}
+
+func TestNewRejectsDegenerateStarts(t *testing.T) {
+	b := graph.NewBuilder("one-edge", 4)
+	b.AddEdge(0, 1)
+	if _, err := New(b.Build(), testParams()); err == nil {
+		t.Error("single-edge start accepted")
+	}
+	lb := graph.NewBuilder("loopy", 4)
+	lb.AddEdge(0, 1)
+	lb.AddEdge(2, 3)
+	lb.AddEdge(2, 2)
+	if _, err := New(lb.Build(), testParams()); err == nil {
+		t.Error("self-loop start accepted")
+	}
+}
+
+// TestProposeSwapCoversArcs sanity-checks arcOwner over the whole CSR.
+func TestProposeSwapCoversArcs(t *testing.T) {
+	g := startGraph(t)
+	for c := 0; c < g.NumChannels(); c++ {
+		u := arcOwner(g, c)
+		if c < g.FirstChannel(u) || c >= g.FirstChannel(u+1) {
+			t.Fatalf("arc %d attributed to vertex %d outside its window", c, u)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"polarstar/internal/motifs"
 	"polarstar/internal/partition"
 	"polarstar/internal/route"
+	"polarstar/internal/search"
 	"polarstar/internal/sim"
 	"polarstar/internal/topo"
 	"polarstar/internal/traffic"
@@ -58,6 +59,43 @@ type MeasuredConfig = moore.MeasuredConfig
 // routers and measures its exact diameter and mean path length with the
 // bit-parallel all-pairs engine.
 var MeasureConfigs = moore.MeasureConfigs
+
+// ASPLLowerBound is the Moore-type lower bound on the average shortest
+// path length of any n-vertex graph with maximum degree d (after
+// Shimizu & Mori); it also returns the implied diameter lower bound.
+var ASPLLowerBound = moore.ASPLLowerBound
+
+// ASPLGap returns a measured ASPL's relative optimality gap against
+// ASPLLowerBound.
+var ASPLGap = moore.ASPLGap
+
+// Swap is a degree-preserving 2-opt edge exchange: remove {A,B} and
+// {C,D}, add {A,C} and {B,D}.
+type Swap = graph.Swap
+
+// DeltaStats maintains all-pairs path statistics under Swap edits,
+// re-running BFS only from sources whose distance tree can change —
+// the incremental oracle of the design-space search (DESIGN.md §11).
+type DeltaStats = graph.DeltaStats
+
+// NewDeltaStats builds the incremental oracle on a private editable
+// clone of g.
+func NewDeltaStats(g *Graph) *DeltaStats { return graph.NewDeltaStats(g) }
+
+// SearchParams configures the annealing search engine.
+type SearchParams = search.Params
+
+// SearchEngine is the deterministic multi-searcher annealer behind
+// cmd/pssearch: 2-opt swaps, delta evaluation, checkpoint/resume.
+type SearchEngine = search.Engine
+
+// SearchResult is a finished search: best graph, cost, trajectory and
+// counters.
+type SearchResult = search.Result
+
+// NewSearch builds a search engine starting from g. Results are a pure
+// function of the start graph and params minus Workers.
+func NewSearch(g *Graph, p SearchParams) (*SearchEngine, error) { return search.New(g, p) }
 
 // ---------------------------------------------------------------------
 // Topologies.
