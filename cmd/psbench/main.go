@@ -6,8 +6,10 @@
 // feeling. With -graph-out it also benchmarks the graph kernel: full
 // AllPairsStats recomputation vs the incremental DeltaStats evaluation
 // the search engine runs per 2-opt swap, emitting BENCH_graph.json with
-// the measured speedup and mean dirty-source count. Committed snapshots
-// live in results/perf/.
+// the measured speedup and mean dirty-source count, plus a replay of the
+// same swap sequence through intra-Apply worker pools of width 1, 4 and
+// 8 (the parallel_apply rows). Committed snapshots live in
+// results/perf/.
 package main
 
 import (
@@ -61,6 +63,19 @@ type graphEntry struct {
 	DirtyFrac   float64 `json:"dirty_frac"`    // dirty_mean / n
 	SpeedupFull float64 `json:"speedup_full"`  // allpairs_ms / delta_ms
 	Rebuilds    int64   `json:"full_rebuilds"` // stride-overflow fallbacks (expect 0)
+	DistsBytes  int64   `json:"dists_bytes"`   // probe-buffer high-water over the walk
+
+	// Parallel replays the measured swap sequence through intra-Apply
+	// EvalPools of increasing width; results are bit-identical to the
+	// serial walk, only the wall time moves.
+	Parallel []parallelRow `json:"parallel_apply,omitempty"`
+}
+
+// parallelRow is one pooled replay of a graph-kernel swap sequence.
+type parallelRow struct {
+	Workers         int     `json:"workers"`
+	DeltaMS         float64 `json:"delta_ms"`          // mean Apply wall time at this width
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"` // workers=1 replay delta_ms / this delta_ms
 }
 
 type graphBenchFile struct {
@@ -226,6 +241,7 @@ func benchGraphKernel(name string, g *graph.Graph, swaps int, seed int64) (graph
 	edges := g.Edges()
 	rng := rand.New(rand.NewSource(seed))
 	var deltaNS int64
+	var seq []graph.Swap
 	applied := 0
 	for attempts := 0; applied < swaps; attempts++ {
 		if attempts > 1000*swaps {
@@ -247,6 +263,7 @@ func benchGraphKernel(name string, g *graph.Graph, swaps int, seed int64) (graph
 		t0 := time.Now()
 		d.Apply(sw)
 		deltaNS += time.Since(t0).Nanoseconds()
+		seq = append(seq, sw)
 		edges[i] = [2]int{int(a), int(c2)}
 		edges[j] = [2]int{int(b), int(d2)}
 		applied++
@@ -265,8 +282,30 @@ func benchGraphKernel(name string, g *graph.Graph, swaps int, seed int64) (graph
 		DeltaMS:    float64(deltaNS) / 1e6 / float64(applied),
 		DirtyMean:  float64(d.DirtyTotal) / float64(d.Evals),
 		Rebuilds:   d.FullRebuilds,
+		DistsBytes: d.DistsBytes,
 	}
 	e.DirtyFrac = e.DirtyMean / float64(e.N)
 	e.SpeedupFull = e.AllPairsMS / e.DeltaMS
+
+	// Replay the identical swap sequence through intra-Apply pools. The
+	// workers=1 replay is the speedup baseline (same code path, same
+	// cache state) so the rows compare pool widths, not walk variance.
+	refSum, refPairs := d.SumPairs()
+	serialMS := 0.0
+	for _, w := range []int{1, 4, 8} {
+		dp := graph.NewDeltaStatsPool(g, graph.NewEvalPool(w))
+		t0 := time.Now()
+		for _, sw := range seq {
+			dp.Apply(sw)
+		}
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6 / float64(len(seq))
+		if sum, pairs := dp.SumPairs(); sum != refSum || pairs != refPairs {
+			return graphEntry{}, fmt.Errorf("graph bench %s: workers=%d replay diverged", name, w)
+		}
+		if w == 1 {
+			serialMS = ms
+		}
+		e.Parallel = append(e.Parallel, parallelRow{Workers: w, DeltaMS: ms, SpeedupVsSerial: serialMS / ms})
+	}
 	return e, nil
 }

@@ -6,9 +6,14 @@
 // Everything it prints to stdout and writes to -checkpoint / -best-out
 // is a pure function of the flags minus -workers, so equal-seed runs are
 // byte-identical at any worker count — the determinism contract shared
-// with pssim. The -metrics artifact is likewise stable once
-// -metrics-timing=false, except that its manifest records the worker
-// count and explicit command line.
+// with pssim. -workers is a global parallelism budget: it is split into
+// goroutines driving searchers (at most -searchers) times the width of
+// each searcher's intra-evaluation pool, which shards the phases of
+// every delta Apply/Resync across per-worker scratch arenas with a
+// fixed-order serial reduction. Neither level can change a result bit.
+// The -metrics artifact is likewise stable once -metrics-timing=false,
+// except that its manifest records the worker budget (and its
+// searcher×intra split) and explicit command line.
 //
 // Start graphs:
 //
@@ -145,7 +150,7 @@ func main() {
 		temp       = flag.Float64("temp", -1, "initial Metropolis temperature in cost units (-1: n/2, 0: greedy)")
 		cooling    = flag.Float64("cooling", 0.85, "per-epoch temperature factor")
 		resync     = flag.Int("resync", 256, "accepted swaps between full resyncs (-1: never)")
-		workers    = flag.Int("workers", 1, "goroutines driving searchers (never affects results)")
+		workers    = flag.Int("workers", 1, "parallelism budget, split between searcher goroutines and intra-evaluation pools (never affects results)")
 		checkpoint = flag.String("checkpoint", "", "write the final search state to this JSON file")
 		resume     = flag.String("resume", "", "resume from a checkpoint written by -checkpoint")
 		bestOut    = flag.String("best-out", "", "write the best graph as an edge list to this file")
@@ -243,6 +248,7 @@ func main() {
 		run.Manifest.Spec = *start
 		run.Manifest.Seed = eng.Params().Seed
 		run.Manifest.Workers = *workers
+		run.Manifest.SearcherWorkers, run.Manifest.IntraWorkers = eng.WorkerSplit()
 		sr := &obs.SearchRun{
 			Graph:        eng.Name(),
 			N:            n,
@@ -259,6 +265,7 @@ func main() {
 			FullRebuilds: obs.Counter(res.Counters.FullRebuilds),
 			Resyncs:      obs.Counter(res.Counters.Resyncs),
 			Drift:        obs.Counter(res.Counters.Drift),
+			DistsBytes:   obs.Counter(res.Counters.DistsBytes),
 			AvgDirty:     avgDirty(res.Counters),
 			BestCost:     res.BestCost,
 			BestASPL:     res.Stats.AvgPath,

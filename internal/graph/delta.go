@@ -30,6 +30,16 @@
 // so DeltaStats inherits the repository-wide determinism contract: the
 // final aggregates are a pure function of the starting graph and the
 // swap sequence.
+//
+// A single evaluation additionally scales with cores: SetPool attaches
+// an EvalPool and every phase of Apply — the region probe batches, the
+// O(n) dirty-source scan, and the ⌈|dirty|/64⌉ recompute batches — plus
+// the rebuild/Resync full passes shard across it. Workers write only
+// into task-indexed slots (probe-distance columns, per-chunk dirty
+// lists, per-batch rows and lane stats) and the aggregates are folded
+// serially in fixed batch/chunk order, so pooled results are
+// bit-identical to the serial path at any pool width (pinned by
+// TestDeltaStatsParallelDeterminism).
 package graph
 
 import "fmt"
@@ -61,12 +71,18 @@ type DeltaStats struct {
 	// Per-swap scratch, reused across Apply calls (allocation-free once
 	// warm).
 	scratch   BitBFSScratch
-	srcs      [64]int32
 	regionIdx []int32 // vertex -> lane in dists, -1 outside the region
 	region    []int32
 	dists     []uint8 // len(region)×n distance vectors on the pre-swap graph
 	dirty     []int32
-	rowBuf    []int32 // 64×stride batch output
+	rowBuf    []int32 // per-batch 64×stride recompute output
+
+	// Intra-evaluation parallelism (nil: serial). Workers fill the
+	// task-indexed slots below; every fold stays serial in task order.
+	pool        *EvalPool
+	batchStats  []BatchBFSStats // per-batch lane aggregates
+	batchOK     []bool          // per-batch kernel ok flags
+	dirtyChunks [][]int32       // per-chunk dirty lists, chunk-ordered
 
 	undo undoState
 
@@ -76,7 +92,14 @@ type DeltaStats struct {
 	Resyncs      int64 // Resync calls
 	DirtyTotal   int64 // Σ dirty-set sizes over all Applies
 	LastDirty    int   // dirty-set size of the most recent Apply
+	DistsBytes   int64 // high-water probe-buffer footprint (n·|region| bytes)
 }
+
+// dirtyChunkSize is the source-range granule of the parallel dirty scan:
+// chunk c covers sources [c·dirtyChunkSize, (c+1)·dirtyChunkSize).
+// Per-chunk dirty lists concatenated in chunk order reproduce the serial
+// ascending-source order exactly.
+const dirtyChunkSize = 512
 
 // undoState is the one-deep backup taken by Apply so a rejected search
 // move can be reverted exactly.
@@ -101,11 +124,17 @@ const initStride = 8
 
 // NewDeltaStats builds the incremental evaluation state for g. The graph
 // is cloned (CloneEditable), so g itself is never mutated.
-func NewDeltaStats(g *Graph) *DeltaStats {
+func NewDeltaStats(g *Graph) *DeltaStats { return NewDeltaStatsPool(g, nil) }
+
+// NewDeltaStatsPool is NewDeltaStats with the initial full build (and
+// every later phase) sharded across p; nil p means serial. Results are
+// bit-identical either way.
+func NewDeltaStatsPool(g *Graph, p *EvalPool) *DeltaStats {
 	d := &DeltaStats{
 		g:      g.CloneEditable(),
 		n:      g.N(),
 		stride: initStride,
+		pool:   p,
 	}
 	d.regionIdx = make([]int32, d.n)
 	for i := range d.regionIdx {
@@ -116,6 +145,24 @@ func NewDeltaStats(g *Graph) *DeltaStats {
 	d.srcReached = make([]int64, d.n)
 	d.rebuild()
 	return d
+}
+
+// SetPool attaches (or, with nil, detaches) the worker pool the next
+// evaluation phases shard across. Purely a performance knob: every
+// result is bit-identical at any pool width, so the search layer may
+// re-point pools between epochs without perturbing determinism. The
+// pool must not be in use by another goroutine while this DeltaStats
+// evaluates.
+func (d *DeltaStats) SetPool(p *EvalPool) { d.pool = p }
+
+// growBatchBufs sizes the per-task result slots for nb tasks.
+func (d *DeltaStats) growBatchBufs(nb int) {
+	if cap(d.batchStats) < nb {
+		d.batchStats = make([]BatchBFSStats, nb)
+		d.batchOK = make([]bool, nb)
+	}
+	d.batchStats = d.batchStats[:nb]
+	d.batchOK = d.batchOK[:nb]
 }
 
 // Graph returns the current graph. Callers must treat it as read-only;
@@ -277,16 +324,29 @@ func (d *DeltaStats) tryBuild() bool {
 	clear(d.hist)
 	clear(d.eccCnt)
 	d.sum, d.pairs = 0, 0
-	for base := 0; base < d.n; base += 64 {
+	nb := (d.n + 63) / 64
+	d.growBatchBufs(nb)
+	// Each batch writes its own 64-row window of d.rows plus its own
+	// batchStats/batchOK slot; nothing else is shared.
+	d.pool.Run(nb, &d.scratch, func(b int, s *BitBFSScratch) {
+		base := b * 64
 		lanes := min(64, d.n-base)
 		for i := 0; i < lanes; i++ {
-			d.srcs[i] = int32(base + i)
+			s.srcs[i] = int32(base + i)
 		}
-		st, ok := d.g.BitBFSBatchRows(d.srcs[:lanes], &d.scratch, d.rows[base*d.stride:], d.stride)
+		st, ok := d.g.BitBFSBatchRows(s.srcs[:lanes], s, d.rows[base*d.stride:], d.stride)
+		d.batchStats[b] = st
+		d.batchOK[b] = ok
+	})
+	for _, ok := range d.batchOK {
 		if !ok {
 			return false
 		}
-		for l := 0; l < lanes; l++ {
+	}
+	for b := 0; b < nb; b++ { // fixed batch-order fold
+		base := b * 64
+		st := &d.batchStats[b]
+		for l := 0; l < st.Lanes; l++ {
 			s := base + l
 			d.ecc[s] = st.Ecc[l]
 			d.srcSum[s] = st.Sum[l]
@@ -333,16 +393,39 @@ func (d *DeltaStats) buildRegion(sw Swap) {
 // dists[s·R+idx] is the distance between source s and region[idx], with
 // R = len(region). Returns false if some distance exceeds the uint8
 // probe range.
+//
+// The buffer grows geometrically — the region size varies swap to swap
+// (neighborhood overlap), and doubling keeps paper-scale runs from
+// re-allocating megabytes every time a swap's region sets a new record
+// by one vertex. DistsBytes records the high-water of the *used* length
+// (a pure function of the swap sequence, so it checkpoints and resumes
+// deterministically); actual capacity is at most ~2x that.
 func (d *DeltaStats) regionDists() bool {
 	r := len(d.region)
 	need := d.n * r
+	if int64(need) > d.DistsBytes {
+		d.DistsBytes = int64(need)
+	}
 	if cap(d.dists) < need {
-		d.dists = make([]uint8, need)
+		newCap := 2 * cap(d.dists)
+		if newCap < need {
+			newCap = need
+		}
+		d.dists = make([]uint8, need, newCap)
 	}
 	d.dists = d.dists[:need]
-	for base := 0; base < r; base += 64 {
+	nb := (r + 63) / 64
+	d.growBatchBufs(nb)
+	// Batch b writes lane columns [64b, 64b+lanes) of every row — byte
+	// ranges disjoint from every other batch's.
+	d.pool.Run(nb, &d.scratch, func(b int, s *BitBFSScratch) {
+		base := b * 64
 		lanes := min(64, r-base)
-		if _, ok := d.g.BitBFSBatchDist(d.region[base:base+lanes], &d.scratch, d.dists[base:], r); !ok {
+		_, ok := d.g.BitBFSBatchDist(d.region[base:base+lanes], s, d.dists[base:], r)
+		d.batchOK[b] = ok
+	})
+	for b := 0; b < nb; b++ {
+		if !d.batchOK[b] {
 			return false
 		}
 	}
@@ -350,10 +433,40 @@ func (d *DeltaStats) regionDists() bool {
 }
 
 // findDirty appends to d.dirty every source whose distance vector can
-// change under sw, in ascending order.
+// change under sw, in ascending order. With a pool attached the scan is
+// chunked over fixed source ranges; per-chunk lists concatenated in
+// chunk order reproduce the serial ascending order exactly.
 func (d *DeltaStats) findDirty(sw Swap) {
+	nc := (d.n + dirtyChunkSize - 1) / dirtyChunkSize
+	if d.pool.Width() <= 1 || nc <= 1 {
+		d.findDirtyRange(sw, 0, d.n, &d.dirty)
+		return
+	}
+	if cap(d.dirtyChunks) < nc {
+		old := d.dirtyChunks
+		d.dirtyChunks = make([][]int32, nc)
+		copy(d.dirtyChunks, old)
+	}
+	d.dirtyChunks = d.dirtyChunks[:nc]
+	d.pool.Run(nc, &d.scratch, func(c int, _ *BitBFSScratch) {
+		lo := c * dirtyChunkSize
+		hi := min(lo+dirtyChunkSize, d.n)
+		out := d.dirtyChunks[c][:0]
+		d.findDirtyRange(sw, lo, hi, &out)
+		d.dirtyChunks[c] = out
+	})
+	for _, chunk := range d.dirtyChunks {
+		d.dirty = append(d.dirty, chunk...)
+	}
+}
+
+// findDirtyRange runs the dirty test for sources in [lo, hi), appending
+// hits to out in ascending order. It only reads the pre-swap graph, the
+// probe distances and the region index, so disjoint ranges are safe to
+// scan concurrently.
+func (d *DeltaStats) findDirtyRange(sw Swap, lo, hi int, out *[]int32) {
 	r := len(d.region)
-	for s := 0; s < d.n; s++ {
+	for s := lo; s < hi; s++ {
 		// All probe distances of source s sit in one contiguous row;
 		// the endpoints occupy indices 0..3 (buildRegion adds them
 		// first). Partner distances: each endpoint gains exactly one
@@ -364,7 +477,7 @@ func (d *DeltaStats) findDirty(sw Swap) {
 		if addedDirty(da, dc) || addedDirty(db, dd) ||
 			d.removedDirty(row, sw.A, sw.B, da, db, dc, dd) ||
 			d.removedDirty(row, sw.C, sw.D, dc, dd, da, db) {
-			d.dirty = append(d.dirty, int32(s))
+			*out = append(*out, int32(s))
 		}
 	}
 }
@@ -442,22 +555,36 @@ func (d *DeltaStats) backupDirty() {
 
 // reevalDirty recomputes the dirty sources on the post-swap graph and
 // folds the differences into the aggregates. Returns false on stride
-// overflow.
+// overflow. The ⌈|dirty|/64⌉ recompute batches shard across the pool,
+// each writing its own 64×stride rowBuf window and batchStats slot; the
+// aggregate fold then walks the batches serially in fixed order — the
+// same arithmetic, in the same order, as the serial path.
 func (d *DeltaStats) reevalDirty() bool {
-	if cap(d.rowBuf) < 64*d.stride {
-		d.rowBuf = make([]int32, 64*d.stride)
+	nb := (len(d.dirty) + 63) / 64
+	if cap(d.rowBuf) < nb*64*d.stride {
+		d.rowBuf = make([]int32, nb*64*d.stride)
 	}
-	d.rowBuf = d.rowBuf[:64*d.stride]
-	for base := 0; base < len(d.dirty); base += 64 {
+	d.rowBuf = d.rowBuf[:nb*64*d.stride]
+	d.growBatchBufs(nb)
+	d.pool.Run(nb, &d.scratch, func(b int, s *BitBFSScratch) {
+		base := b * 64
 		lanes := min(64, len(d.dirty)-base)
-		st, ok := d.g.BitBFSBatchRows(d.dirty[base:base+lanes], &d.scratch, d.rowBuf, d.stride)
-		if !ok {
+		st, ok := d.g.BitBFSBatchRows(d.dirty[base:base+lanes], s, d.rowBuf[base*d.stride:], d.stride)
+		d.batchStats[b] = st
+		d.batchOK[b] = ok
+	})
+	for b := 0; b < nb; b++ {
+		if !d.batchOK[b] {
 			return false
 		}
-		for l := 0; l < lanes; l++ {
+	}
+	for b := 0; b < nb; b++ { // fixed batch-order fold
+		base := b * 64
+		st := &d.batchStats[b]
+		for l := 0; l < st.Lanes; l++ {
 			s := int(d.dirty[base+l])
 			row := d.rows[s*d.stride : (s+1)*d.stride]
-			newRow := d.rowBuf[l*d.stride : (l+1)*d.stride]
+			newRow := d.rowBuf[(base+l)*d.stride : (base+l+1)*d.stride]
 			for dd := 1; dd < d.stride; dd++ {
 				d.hist[dd] += int64(newRow[dd]) - int64(row[dd])
 			}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeltaStatsDistsGrowth pins the probe-buffer memory contract:
+// DistsBytes tracks the high-water of the *used* probe length n·|region|
+// (so it is a pure function of the swap sequence, independent of
+// allocation history), while the backing array only ever grows, and
+// geometrically — any growth after the first allocation at least
+// doubles the capacity, so a region that sets a new record by one
+// vertex cannot trigger per-swap re-allocation at paper scale.
+func TestDeltaStatsDistsGrowth(t *testing.T) {
+	// Degree-4 circulant: enough structure for plentiful valid swaps,
+	// region sizes that vary with neighborhood overlap.
+	b := NewBuilder("circ64", 64)
+	for i := 0; i < 64; i++ {
+		b.AddEdge(i, (i+1)%64)
+		b.AddEdge(i, (i+2)%64)
+	}
+	d := NewDeltaStats(b.Build())
+	if d.DistsBytes != 0 {
+		t.Fatalf("DistsBytes %d before any Apply, want 0", d.DistsBytes)
+	}
+	rng := rand.New(rand.NewSource(7))
+	edges := d.Graph().Edges()
+	prevCap := 0
+	var hwm int64
+	applied := 0
+	for try := 0; try < 20000 && applied < 60; try++ {
+		e1 := edges[rng.Intn(len(edges))]
+		e2 := edges[rng.Intn(len(edges))]
+		sw := Swap{A: int32(e1[0]), B: int32(e1[1]), C: int32(e2[0]), D: int32(e2[1])}
+		if !d.CanSwap(sw) {
+			continue
+		}
+		d.Apply(sw)
+		applied++
+		edges = d.Graph().Edges()
+		need := int64(d.n * len(d.region))
+		if need > hwm {
+			hwm = need
+		}
+		if d.DistsBytes != hwm {
+			t.Fatalf("apply %d: DistsBytes %d, want high-water %d", applied, d.DistsBytes, hwm)
+		}
+		c := cap(d.dists)
+		if c < prevCap {
+			t.Fatalf("apply %d: probe capacity shrank %d -> %d", applied, prevCap, c)
+		}
+		if prevCap > 0 && c > prevCap && c < 2*prevCap {
+			t.Fatalf("apply %d: growth %d -> %d is not geometric", applied, prevCap, c)
+		}
+		prevCap = c
+	}
+	if applied < 60 {
+		t.Fatalf("only %d valid swaps found", applied)
+	}
+	if hwm == 0 {
+		t.Fatal("probe buffer never used")
+	}
+}

@@ -186,6 +186,133 @@ func TestDeltaStatsStrideGrowth(t *testing.T) {
 	}
 }
 
+// TestDeltaStatsParallelDeterminism pins the tentpole contract: a
+// pooled DeltaStats is bit-identical to the serial path — same dirty
+// counts, aggregates, histogram and telemetry after every Apply, Revert
+// and Resync — over a 200-swap walk at pool widths 1, 2 and 8. The
+// graph is big enough (n=1024, degree 16) that every sharded phase
+// actually fans out: the probe region spans two 64-lane batches, the
+// dirty scan covers two 512-source chunks, and the dirty set regularly
+// exceeds one recompute batch. CI runs this under -race.
+func TestDeltaStatsParallelDeterminism(t *testing.T) {
+	g, err := topo.NewJellyfish(1024, 16, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := graph.NewDeltaStats(g)
+	widths := []int{1, 2, 8}
+	pooled := make([]*graph.DeltaStats, len(widths))
+	for i, w := range widths {
+		pooled[i] = graph.NewDeltaStatsPool(g, graph.NewEvalPool(w))
+	}
+	compare := func(step int, what string) {
+		t.Helper()
+		wantStats := serial.Stats()
+		wantHist := serial.Histogram()
+		wantSum, wantPairs := serial.SumPairs()
+		for i, d := range pooled {
+			if got := d.Stats(); got != wantStats {
+				t.Fatalf("swap %d %s: width %d stats %+v, serial %+v", step, what, widths[i], got, wantStats)
+			}
+			sum, pairs := d.SumPairs()
+			if sum != wantSum || pairs != wantPairs {
+				t.Fatalf("swap %d %s: width %d sum/pairs (%d,%d), serial (%d,%d)",
+					step, what, widths[i], sum, pairs, wantSum, wantPairs)
+			}
+			if got := d.Histogram(); !reflect.DeepEqual(got, wantHist) {
+				t.Fatalf("swap %d %s: width %d histogram %v, serial %v", step, what, widths[i], got, wantHist)
+			}
+			if d.DistsBytes != serial.DistsBytes {
+				t.Fatalf("swap %d %s: width %d DistsBytes %d, serial %d",
+					step, what, widths[i], d.DistsBytes, serial.DistsBytes)
+			}
+		}
+	}
+	compare(-1, "init")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		sw := validSwap(t, serial.Graph(), rng)
+		want := serial.Apply(sw)
+		for j, d := range pooled {
+			if got := d.Apply(sw); got != want {
+				t.Fatalf("swap %d: width %d re-evaluated %d sources, serial %d", i, widths[j], got, want)
+			}
+		}
+		compare(i, "apply")
+		if rng.Intn(2) == 0 {
+			serial.Revert()
+			for _, d := range pooled {
+				d.Revert()
+			}
+			compare(i, "revert")
+		}
+		if i%50 == 49 {
+			if serial.Resync() {
+				t.Fatalf("swap %d: serial Resync drifted", i)
+			}
+			for j, d := range pooled {
+				if d.Resync() {
+					t.Fatalf("swap %d: width %d Resync drifted", i, widths[j])
+				}
+			}
+			compare(i, "resync")
+		}
+	}
+	// Authoritative close: serial and the widest pooled state both match
+	// the scalar oracle exactly.
+	checkDelta(t, serial)
+	checkDelta(t, pooled[len(pooled)-1])
+}
+
+// TestDeltaStatsParallelRebuilds walks the stride-growth/full-rebuild
+// path (long-diameter graph) with a pooled evaluator, pinning the
+// rebuild fallback and its Revert bit-identical to serial.
+func TestDeltaStatsParallelRebuilds(t *testing.T) {
+	// Two P8 paths: every eccentricity is ≤ 7, so the initial build fits
+	// the starting stride of 8. The cross swap rewires them into a
+	// 14-vertex path (ecc 13) plus a detached edge, overflowing the
+	// stride mid-Apply — the full-rebuild fallback, on both evaluators.
+	b := graph.NewBuilder("2p8", 16)
+	for i := 0; i+1 < 8; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(8+i, 8+i+1)
+	}
+	g := b.Build()
+	serial := graph.NewDeltaStats(g)
+	pooled := graph.NewDeltaStatsPool(g, graph.NewEvalPool(8))
+	grow := graph.Swap{A: 0, B: 1, C: 8, D: 9}
+	serial.Apply(grow)
+	pooled.Apply(grow)
+	if serial.FullRebuilds != 1 || pooled.FullRebuilds != 1 {
+		t.Fatalf("stride overflow did not rebuild: serial %d, pooled %d rebuilds",
+			serial.FullRebuilds, pooled.FullRebuilds)
+	}
+	checkDelta(t, pooled)
+	serial.Revert() // full-rebuild Revert path
+	pooled.Revert()
+	checkDelta(t, pooled)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		sw := validSwap(t, serial.Graph(), rng)
+		serial.Apply(sw)
+		pooled.Apply(sw)
+		if i%3 == 0 {
+			serial.Revert()
+			pooled.Revert()
+			serial.Apply(sw)
+			pooled.Apply(sw)
+		}
+		if got, want := pooled.Stats(), serial.Stats(); got != want {
+			t.Fatalf("swap %d: pooled %+v, serial %+v", i, got, want)
+		}
+		if serial.FullRebuilds != pooled.FullRebuilds {
+			t.Fatalf("swap %d: rebuild counts diverged: serial %d, pooled %d",
+				i, serial.FullRebuilds, pooled.FullRebuilds)
+		}
+		checkDelta(t, pooled)
+	}
+}
+
 // benchDeltaApply measures the incremental cost per applied swap on an
 // n-vertex random-regular graph — the quantity the ≥5x acceptance
 // criterion compares against benchDeltaFull on the same graph. Swap
@@ -225,7 +352,32 @@ func benchDeltaFull(b *testing.B, n int) {
 	}
 }
 
+// benchDeltaApplyPool is benchDeltaApply with the evaluation sharded
+// across a worker pool — the tentpole's multi-core path. On a 1-vCPU
+// runner it measures sharding overhead; on real cores, the speedup.
+func benchDeltaApplyPool(b *testing.B, n, workers int) {
+	g, err := topo.NewJellyfish(n, 16, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := graph.NewDeltaStatsPool(g, graph.NewEvalPool(workers))
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sw := validSwap(b, d.Graph(), rng)
+		b.StartTimer()
+		d.Apply(sw)
+	}
+	b.StopTimer()
+	if d.Resync() {
+		b.Fatal("drift after benchmark swaps")
+	}
+}
+
 func BenchmarkDeltaApply(b *testing.B)          { benchDeltaApply(b, 1024) }
 func BenchmarkDeltaFullAllPairs(b *testing.B)   { benchDeltaFull(b, 1024) }
 func BenchmarkDeltaApply4k(b *testing.B)        { benchDeltaApply(b, 4096) }
 func BenchmarkDeltaFullAllPairs4k(b *testing.B) { benchDeltaFull(b, 4096) }
+func BenchmarkDeltaApplyParallel(b *testing.B)  { benchDeltaApplyPool(b, 4096, 8) }

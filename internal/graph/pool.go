@@ -1,0 +1,101 @@
+// EvalPool: the bounded worker pool behind parallel incremental-ASPL
+// evaluation (DeltaStats) and any other caller that shards bit-BFS
+// batches within one logical operation.
+//
+// The pool follows the repository's determinism discipline (the PR-1
+// link-load / PR-3 shard-journal scheme): workers race only over *which*
+// task index they grab next, every task writes exclusively into
+// task-indexed slots the caller laid out beforehand, and the caller
+// folds those slots serially in fixed task order after Run returns.
+// Task scheduling is therefore free to load-balance dynamically (an
+// atomic cursor) without any result depending on it — the fold sees the
+// same per-task integers in the same order at any width.
+//
+// A pool is deliberately passive: it owns no goroutines at rest, only
+// the per-worker BitBFSScratch arenas. Run spawns its helper goroutines
+// for the duration of one parallel region and joins them before
+// returning, so there is no lifecycle to manage (no Close), idle pools
+// cost nothing, and an Engine can hold one pool per driver goroutine
+// without leak concerns across checkpoint/restore cycles.
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EvalPool bounds the intra-evaluation parallelism of one caller
+// goroutine at a time: Run executes tasks on up to Width goroutines (the
+// caller plus Width−1 helpers, each helper owning one persistent
+// BitBFSScratch arena so parallel regions allocate nothing once warm).
+//
+// One pool serves one caller goroutine at a time — concurrent Run calls
+// on the same pool would share helper arenas. Callers that themselves
+// run in parallel (e.g. search drivers) hold one pool each.
+type EvalPool struct {
+	width   int
+	scratch []BitBFSScratch // helper arenas; the caller brings its own
+}
+
+// NewEvalPool returns a pool of the given width (minimum 1). Width 1 —
+// and a nil *EvalPool — degrade Run to a serial loop on the caller.
+func NewEvalPool(width int) *EvalPool {
+	if width < 1 {
+		width = 1
+	}
+	return &EvalPool{width: width, scratch: make([]BitBFSScratch, width-1)}
+}
+
+// Width reports the pool's parallelism bound; a nil pool has width 1.
+func (p *EvalPool) Width() int {
+	if p == nil {
+		return 1
+	}
+	return p.width
+}
+
+// Run executes fn(task, scratch) for every task in [0, n) across the
+// caller and the pool's helpers. fn must confine its writes to
+// task-indexed state (slices pre-sized by the caller); any cross-task
+// aggregation happens after Run returns, in fixed task order, which is
+// what keeps results bit-identical at every width. caller is the
+// scratch arena used for tasks executed on the calling goroutine.
+//
+// Tasks are handed out through an atomic cursor, so expensive tasks
+// load-balance; when the pool is nil, width 1, or n ≤ 1, Run is a plain
+// serial loop with zero synchronization.
+func (p *EvalPool) Run(n int, caller *BitBFSScratch, fn func(task int, s *BitBFSScratch)) {
+	if p == nil || p.width <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i, caller)
+		}
+		return
+	}
+	helpers := p.width - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		go func(s *BitBFSScratch) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, s)
+			}
+		}(&p.scratch[h])
+	}
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(i, caller)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestEvalPoolRunCoversTasks: every task index in [0, n) executes
+// exactly once, at any width, including the serial fallbacks (nil pool,
+// width 1, n ≤ 1) and widths past the task count.
+func TestEvalPoolRunCoversTasks(t *testing.T) {
+	var caller BitBFSScratch
+	for _, width := range []int{0, 1, 2, 3, 8, 64} {
+		p := NewEvalPool(width)
+		wantWidth := width
+		if wantWidth < 1 {
+			wantWidth = 1
+		}
+		if got := p.Width(); got != wantWidth {
+			t.Fatalf("NewEvalPool(%d).Width() = %d, want %d", width, got, wantWidth)
+		}
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]int32, n)
+			p.Run(n, &caller, func(task int, s *BitBFSScratch) {
+				if s == nil {
+					t.Error("nil scratch handed to task")
+				}
+				atomic.AddInt32(&hits[task], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("width %d, n %d: task %d ran %d times", width, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPoolNil: a nil *EvalPool behaves as a width-1 serial loop on
+// the caller's scratch — the contract DeltaStats relies on before
+// SetPool is ever called.
+func TestEvalPoolNil(t *testing.T) {
+	var p *EvalPool
+	if got := p.Width(); got != 1 {
+		t.Fatalf("nil pool width %d, want 1", got)
+	}
+	var caller BitBFSScratch
+	order := []int{}
+	p.Run(5, &caller, func(task int, s *BitBFSScratch) {
+		if s != &caller {
+			t.Error("serial fallback did not use the caller scratch")
+		}
+		order = append(order, task)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial fallback ran out of order: %v", order)
+		}
+	}
+}
+
+// TestEvalPoolScratchIdentity: tasks only ever see the caller scratch or
+// one of the pool's helper arenas, never a shared or foreign one.
+func TestEvalPoolScratchIdentity(t *testing.T) {
+	p := NewEvalPool(4)
+	var caller BitBFSScratch
+	known := map[*BitBFSScratch]bool{&caller: true}
+	for i := range p.scratch {
+		known[&p.scratch[i]] = true
+	}
+	var bad atomic.Int32
+	p.Run(64, &caller, func(task int, s *BitBFSScratch) {
+		if !known[s] {
+			bad.Add(1)
+		}
+		// Exercise the arena like a real kernel call would.
+		s.reset(128)
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d tasks ran on an unknown scratch", bad.Load())
+	}
+}

@@ -22,17 +22,25 @@ const Schema = "polarstar-metrics/1"
 // (binary revision, Go version, GOMAXPROCS). Every field is deterministic
 // for a fixed binary and command line.
 type Manifest struct {
-	Schema     string            `json:"schema"`
-	Tool       string            `json:"tool"`
-	Spec       string            `json:"spec,omitempty"`
-	Routing    string            `json:"routing,omitempty"`
-	Pattern    string            `json:"pattern,omitempty"`
-	Seed       int64             `json:"seed"`
-	Workers    int               `json:"workers"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	GoVersion  string            `json:"go_version"`
-	Revision   string            `json:"revision"`
-	Args       map[string]string `json:"args,omitempty"`
+	Schema     string `json:"schema"`
+	Tool       string `json:"tool"`
+	Spec       string `json:"spec,omitempty"`
+	Routing    string `json:"routing,omitempty"`
+	Pattern    string `json:"pattern,omitempty"`
+	Seed       int64  `json:"seed"`
+	Workers    int    `json:"workers"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Workers-budget split of tools that divide Workers between
+	// task-level goroutines and intra-evaluation pools (pssearch):
+	// SearcherWorkers·IntraWorkers ≤ Workers. Zero for tools without a
+	// split. Like Workers these are manifest-only — metric sections stay
+	// bit-identical across budgets.
+	SearcherWorkers int               `json:"searcher_workers,omitempty"`
+	IntraWorkers    int               `json:"intra_workers,omitempty"`
+	GoVersion       string            `json:"go_version"`
+	Revision        string            `json:"revision"`
+	Args            map[string]string `json:"args,omitempty"`
 
 	// FaultPlan records the live fault-injection configuration of the
 	// run — the canonical plan hash plus every generator and retry

@@ -239,6 +239,7 @@ type SearchRun struct {
 	FullRebuilds Counter `json:"full_rebuilds"`
 	Resyncs      Counter `json:"resyncs"`
 	Drift        Counter `json:"drift"`
+	DistsBytes   Counter `json:"dists_bytes"` // per-searcher probe-buffer high-water (max, not sum)
 
 	AcceptRate float64 `json:"accept_rate"`
 	AvgDirty   float64 `json:"avg_dirty"` // mean re-evaluated sources per applied swap

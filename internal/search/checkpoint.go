@@ -97,6 +97,7 @@ func Restore(cp *Checkpoint, workers, epochs int) (*Engine, error) {
 		epoch:     cp.Epoch,
 		traj:      cp.Trajectory,
 	}
+	e.initPools()
 	for i, st := range cp.States {
 		if st.ID != i {
 			return nil, fmt.Errorf("search: checkpoint state %d has id %d", i, st.ID)
@@ -115,7 +116,7 @@ func Restore(cp *Checkpoint, workers, epochs int) (*Engine, error) {
 			sinceResync: st.SinceResync,
 			ctr:         st.Counters,
 		}
-		s.d = graph.NewDeltaStats(buildFromEdges(cp.Name, cp.N, st.Edges))
+		s.d = graph.NewDeltaStatsPool(buildFromEdges(cp.Name, cp.N, st.Edges), e.pools[0])
 		if got := costOf(s.d, cp.N); got != st.Cost {
 			return nil, fmt.Errorf("search: state %d cost %d does not match its graph (recomputed %d)", i, st.Cost, got)
 		}

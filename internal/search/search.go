@@ -10,8 +10,13 @@
 // splitmix64 stream seeded from (Seed, searcher id) and shares nothing
 // during an epoch; searchers synchronize only at serial inter-epoch
 // barriers, where aggregation and the best-so-far exchange walk them in
-// ascending id order. Workers only decide which goroutine runs which
-// searcher, so results are bit-identical at any worker count.
+// ascending id order. Workers is a pure parallelism budget: the engine
+// splits it between goroutines driving searchers and per-evaluation
+// depth (graph.EvalPool workers inside each DeltaStats.Apply), and
+// neither axis can change a result bit — driver assignment only decides
+// which goroutine runs which searcher, and the pooled delta evaluation
+// is bit-identical to serial at any width (its workers write disjoint
+// task slots reduced in fixed order).
 //
 // The objective is the integer cost Σd(s,t) + missing·n over ordered
 // pairs, where missing counts unreachable pairs and n is the virtual
@@ -43,8 +48,14 @@ type Params struct {
 	Cooling     float64 `json:"cooling"`      // per-epoch geometric temperature factor
 	ResyncEvery int     `json:"resync_every"` // accepted swaps between full resyncs (0: never)
 
-	// Workers bounds the goroutines driving searchers. It does not
-	// affect any result and is deliberately excluded from checkpoints.
+	// Workers is the run's total parallelism budget. The engine splits
+	// it between searcher-level drivers (min(Workers, Searchers)
+	// goroutines) and intra-evaluation depth (Workers/drivers pool
+	// workers inside each delta evaluation) — few large-n searchers get
+	// deep per-Apply parallelism, many searchers get one goroutine each
+	// — with drivers·intra ≤ Workers, so the budget never oversubscribes.
+	// It does not affect any result and is deliberately excluded from
+	// checkpoints.
 	Workers int `json:"-"`
 
 	// TimeEvals records a wall-clock histogram of delta-evaluation
@@ -100,6 +111,13 @@ type Counters struct {
 	FullRebuilds int64 `json:"full_rebuilds"`
 	Resyncs      int64 `json:"resyncs"`
 	Drift        int64 `json:"drift"` // resyncs that found divergence (must stay 0)
+
+	// DistsBytes is the high-water probe-buffer footprint (bytes) any
+	// searcher's delta oracle needed — max-merged, not summed, so it
+	// reads as "peak per-searcher memory" at paper scale. A pure
+	// function of the swap sequence (graph.DeltaStats tracks used
+	// length, not capacity), so it survives checkpoint/resume exactly.
+	DistsBytes int64 `json:"dists_bytes"`
 }
 
 func (c *Counters) add(o Counters) {
@@ -111,6 +129,7 @@ func (c *Counters) add(o Counters) {
 	c.FullRebuilds += o.FullRebuilds
 	c.Resyncs += o.Resyncs
 	c.Drift += o.Drift
+	c.DistsBytes = max(c.DistsBytes, o.DistsBytes)
 }
 
 // Result is the outcome of a run: the best graph found, its exact
@@ -154,6 +173,44 @@ type Engine struct {
 	bestEdges [][2]int32
 	epoch     int
 	traj      []EpochStat
+
+	// Workers-budget split: drivers goroutines run searchers, each
+	// holding one intra-wide EvalPool for its delta evaluations.
+	drivers int
+	intra   int
+	pools   []*graph.EvalPool // one per driver; pools[w] belongs to driver w
+}
+
+// splitWorkers divides the Workers budget between searcher drivers and
+// intra-evaluation pool width: searcher-level parallelism is the scarce
+// axis (bounded by Searchers), so it is filled first and the remaining
+// budget deepens each evaluation. drivers·intra ≤ workers always, so a
+// budget of GOMAXPROCS never oversubscribes the machine — pool workers
+// run inside an Apply while their driver blocks on it, never alongside.
+func splitWorkers(workers, searchers int) (drivers, intra int) {
+	if workers < 1 {
+		workers = 1
+	}
+	drivers = min(workers, searchers)
+	if drivers < 1 {
+		drivers = 1
+	}
+	return drivers, workers / drivers
+}
+
+// WorkerSplit reports the effective Workers-budget split: how many
+// goroutines drive searchers and how many pool workers each delta
+// evaluation shards across (drivers·intra ≤ Params.Workers).
+func (e *Engine) WorkerSplit() (drivers, intra int) { return e.drivers, e.intra }
+
+// initPools materializes the budget split. Pools are passive (no
+// goroutines at rest), so engines need no teardown.
+func (e *Engine) initPools() {
+	e.drivers, e.intra = splitWorkers(e.p.Workers, e.p.Searchers)
+	e.pools = make([]*graph.EvalPool, e.drivers)
+	for i := range e.pools {
+		e.pools[i] = graph.NewEvalPool(e.intra)
+	}
 }
 
 // New builds an engine searching from the given start graph. The graph
@@ -168,8 +225,11 @@ func New(start *graph.Graph, p Params) (*Engine, error) {
 		return nil, fmt.Errorf("search: start graph %q has self-loops", start.Name())
 	}
 	e := &Engine{p: p, name: start.Name(), n: start.N()}
+	e.initPools()
 	for id := 0; id < p.Searchers; id++ {
-		s := &searcher{id: id, d: graph.NewDeltaStats(start), rng: newSplitmix(p.Seed, id)}
+		// Construction runs on this goroutine, so sharing pool 0 across
+		// the sequential initial builds is safe.
+		s := &searcher{id: id, d: graph.NewDeltaStatsPool(start, e.pools[0]), rng: newSplitmix(p.Seed, id)}
 		if p.TimeEvals {
 			s.evalNS = &obs.Histogram{}
 		}
@@ -228,32 +288,39 @@ func (e *Engine) Run() *Result {
 	return e.result()
 }
 
-// runEpoch runs every searcher for Iters proposals (in parallel across
-// at most Workers goroutines) and then performs the serial barrier:
-// aggregate in id order, update the global best, hand the global best to
-// the worst searcher, and record the trajectory point.
+// runEpoch runs every searcher for Iters proposals — across the
+// budget's driver goroutines, each lending its private EvalPool to
+// whichever searcher it currently runs — and then performs the serial
+// barrier: aggregate in id order, update the global best, hand the
+// global best to the worst searcher, and record the trajectory point.
 func (e *Engine) runEpoch() {
 	temp := e.temperature()
-	workers := min(e.p.Workers, len(e.searchers))
-	if workers <= 1 {
+	if e.pools == nil {
+		e.initPools()
+	}
+	if e.drivers <= 1 {
 		for _, s := range e.searchers {
+			s.d.SetPool(e.pools[0])
 			s.runEpoch(e.p.Iters, temp, e.p.ResyncEvery, e.n)
 		}
 	} else {
 		var next atomic.Int32
 		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
+		for w := 0; w < e.drivers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(e.searchers) {
 						return
 					}
+					// Pool w is owned by this driver: a searcher uses it
+					// only while this goroutine runs it serially.
+					e.searchers[i].d.SetPool(e.pools[w])
 					e.searchers[i].runEpoch(e.p.Iters, temp, e.p.ResyncEvery, e.n)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -279,7 +346,9 @@ func (e *Engine) runEpoch() {
 	}
 	if worst.cost > e.bestCost {
 		g := buildFromEdges(e.name, e.n, e.bestEdges)
-		worst.d = graph.NewDeltaStats(g)
+		// The barrier is serial, so pool 0 is free to shard the rebuild;
+		// the next epoch re-points the searcher at its driver's pool.
+		worst.d = graph.NewDeltaStatsPool(g, e.pools[0])
 		worst.cost = costOf(worst.d, e.n)
 	}
 	bestASPL := 0.0
@@ -377,6 +446,7 @@ func (s *searcher) runEpoch(iters int, temp float64, resyncEvery, n int) {
 	s.ctr.DirtyTotal += s.d.DirtyTotal
 	s.ctr.FullRebuilds += s.d.FullRebuilds
 	s.ctr.Resyncs += s.d.Resyncs
+	s.ctr.DistsBytes = max(s.ctr.DistsBytes, s.d.DistsBytes)
 	s.d.Evals, s.d.DirtyTotal, s.d.FullRebuilds, s.d.Resyncs = 0, 0, 0, 0
 }
 

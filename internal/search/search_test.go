@@ -70,6 +70,79 @@ func TestSearchDeterminism(t *testing.T) {
 	}
 }
 
+// TestSplitWorkers pins the budget rules: searcher-level parallelism
+// fills first (it is bounded by Searchers), the remainder deepens each
+// evaluation, and drivers·intra never exceeds the budget.
+func TestSplitWorkers(t *testing.T) {
+	cases := []struct {
+		workers, searchers, drivers, intra int
+	}{
+		{0, 4, 1, 1},   // unset budget: fully serial
+		{1, 4, 1, 1},   // today's default
+		{4, 4, 4, 1},   // many searchers: one goroutine each
+		{8, 4, 4, 2},   // spare budget becomes per-Apply depth
+		{8, 2, 2, 4},   // few searchers: deep Apply parallelism
+		{8, 1, 1, 8},   // one big-n searcher: all depth
+		{16, 4, 4, 4},  //
+		{3, 2, 2, 1},   // odd budget: floor division, never oversubscribe
+		{7, 3, 3, 2},   //
+		{2, 16, 2, 1},  // budget below searcher count
+		{16, 16, 16, 1}, //
+	}
+	for _, c := range cases {
+		drivers, intra := splitWorkers(c.workers, c.searchers)
+		if drivers != c.drivers || intra != c.intra {
+			t.Errorf("splitWorkers(%d, %d) = (%d, %d), want (%d, %d)",
+				c.workers, c.searchers, drivers, intra, c.drivers, c.intra)
+		}
+		if c.workers > 0 && drivers*intra > c.workers {
+			t.Errorf("splitWorkers(%d, %d) oversubscribes: %d·%d", c.workers, c.searchers, drivers, intra)
+		}
+	}
+}
+
+// TestSearchDeterminismBudget pins that the Workers budget — including
+// splits that activate intra-Apply pooling (searchers=2, workers=8 →
+// 2 drivers × 4-wide pools) — cannot change any result bit. Larger
+// start graph than TestSearchDeterminism so the pooled phases actually
+// shard.
+func TestSearchDeterminismBudget(t *testing.T) {
+	run := func(workers int) *Result {
+		g, err := topo.NewJellyfish(256, 8, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Params{Seed: 11, Searchers: 2, Epochs: 3, Iters: 120,
+			InitTemp: 64, Cooling: 0.8, ResyncEvery: 32, Workers: workers}
+		e, err := New(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDrivers, wantIntra := splitWorkers(workers, 2)
+		if d, i := e.WorkerSplit(); d != wantDrivers || i != wantIntra {
+			t.Fatalf("workers=%d: split (%d,%d), want (%d,%d)", workers, d, i, wantDrivers, wantIntra)
+		}
+		return e.Run()
+	}
+	ref := run(1)
+	if ref.Counters.DistsBytes <= 0 {
+		t.Error("DistsBytes high-water not recorded")
+	}
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if got.BestCost != ref.BestCost || got.Counters != ref.Counters {
+			t.Errorf("workers=%d: cost/counters differ: %d %+v vs %d %+v",
+				workers, got.BestCost, got.Counters, ref.BestCost, ref.Counters)
+		}
+		if !reflect.DeepEqual(got.Trajectory, ref.Trajectory) {
+			t.Errorf("workers=%d: trajectories differ", workers)
+		}
+		if !reflect.DeepEqual(got.Best.Edges(), ref.Best.Edges()) {
+			t.Errorf("workers=%d: best graphs differ", workers)
+		}
+	}
+}
+
 // TestSearchImproves checks the annealer actually lowers the cost on a
 // random-regular start, that the reported stats match the returned
 // graph, and that the best graph preserves the degree sequence.
