@@ -1,6 +1,7 @@
 package polarstar_test
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -179,5 +180,49 @@ func TestFacadeExtensions(t *testing.T) {
 	}
 	if tm := polarstar.RunTreeAllreduce(net, trees, 4096, 1); tm <= 0 {
 		t.Error("tree allreduce failed")
+	}
+}
+
+// TestFacadeErrorsNotPanics pins the facade's error contract for the
+// entry points the evaluation service feeds with untrusted input: every
+// invalid parameter combination — including the calendar-overflow cases
+// the engine constructor guards with panics — must come back as an
+// error, never a panic.
+func TestFacadeErrorsNotPanics(t *testing.T) {
+	spec, err := polarstar.NewSpec("ps-iq-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []polarstar.SimParams{
+		func() polarstar.SimParams { p := polarstar.DefaultSimParams(1); p.PacketFlits = 0; return p }(),
+		func() polarstar.SimParams { p := polarstar.DefaultSimParams(1); p.BufFlitsPerVC = 1; return p }(),
+		func() polarstar.SimParams { p := polarstar.DefaultSimParams(1); p.Measure = 0; return p }(),
+		func() polarstar.SimParams { p := polarstar.DefaultSimParams(1); p.Warmup = -1; return p }(),
+		func() polarstar.SimParams {
+			// Overflows the generation calendar's packed cycle field — the
+			// case NewEngine would otherwise panic on.
+			p := polarstar.DefaultSimParams(1)
+			p.Warmup, p.Measure, p.Drain = 1<<38, 1<<38, 1<<38
+			return p
+		}(),
+	}
+	for i, p := range bad {
+		if _, err := polarstar.RunSimPoint(context.Background(), spec, polarstar.MINRouting, "uniform", 0.1, p); err == nil {
+			t.Errorf("case %d: RunSimPoint accepted invalid params %+v", i, p)
+		}
+		if _, err := polarstar.Sweep(spec, polarstar.MINRouting, "uniform", []float64{0.1}, p); err == nil {
+			t.Errorf("case %d: Sweep accepted invalid params %+v", i, p)
+		}
+	}
+	// Out-of-range loads error too.
+	if _, err := polarstar.RunSimPoint(context.Background(), spec, polarstar.MINRouting, "uniform", 1.5, polarstar.DefaultSimParams(1)); err == nil {
+		t.Error("RunSimPoint accepted load 1.5")
+	}
+	// The registry answers name queries without construction.
+	if !polarstar.KnownSpec("ps-iq-small") || polarstar.KnownSpec("nope") {
+		t.Error("KnownSpec misclassified")
+	}
+	if names := polarstar.SpecNames(); len(names) < 10 {
+		t.Errorf("SpecNames too short: %v", names)
 	}
 }

@@ -1,14 +1,18 @@
 package clitest
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -17,7 +21,7 @@ var binDir string
 var binaries = []string{
 	"psgen", "psroute", "psscale", "psbisect",
 	"pssim", "psfig", "psfaults", "psmotifs",
-	"pssearch",
+	"pssearch", "psserve",
 }
 
 func TestMain(m *testing.M) {
@@ -291,6 +295,108 @@ func TestPsfaultsMetrics(t *testing.T) {
 	}
 	if _, ok := field(t, m, "faults", "median").(map[string]any); !ok {
 		t.Error("faults.median missing")
+	}
+}
+
+// TestPsserveSmoke is the end-to-end daemon check: start psserve on an
+// ephemeral port, run an eval round trip over real HTTP, verify the
+// warm replay is a byte-identical cache hit, then drain it with SIGTERM
+// and require a clean exit.
+func TestPsserveSmoke(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "psserve"),
+		"-addr", "127.0.0.1:0", "-workers", "2", "-run-timeout", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the resolved address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("psserve produced no output; stderr: %s", stderr.String())
+	}
+	line := sc.Text()
+	const prefix = "psserve: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimPrefix(line, prefix)
+	// Drain the rest of stdout in the background so the final report
+	// does not block the process on a full pipe.
+	restc := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteString("\n")
+		}
+		restc <- rest.String()
+	}()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	eval := func() (string, []byte) {
+		resp, err := http.Post(base+"/v1/eval", "application/json",
+			strings.NewReader(`{"spec":"ps-iq-small","cycles":200,"seed":3}`))
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("eval = %d %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Cache"), body
+	}
+	cacheCold, cold := eval()
+	cacheWarm, warm := eval()
+	if cacheCold != "miss" || cacheWarm != "hit" {
+		t.Fatalf("X-Cache cold/warm = %q/%q, want miss/hit", cacheCold, cacheWarm)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm replay differs from cold run:\n%s\n---\n%s", cold, warm)
+	}
+
+	resp, err = http.Get(base + "/v1/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st map[string]any
+	if err := json.Unmarshal(stats, &st); err != nil {
+		t.Fatalf("stats body %s: %v", stats, err)
+	}
+	serveStats, ok := st["serve"].(map[string]any)
+	if !ok || serveStats["cache_hits"].(float64) != 1 || serveStats["builds"].(float64) != 1 {
+		t.Fatalf("unexpected stats: %s", stats)
+	}
+
+	// Graceful drain: SIGTERM, clean exit 0, final report printed.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("psserve did not exit cleanly: %v\nstderr: %s", err, stderr.String())
+	}
+	if rest := <-restc; !strings.Contains(rest, "drained") {
+		t.Fatalf("missing drain report in output: %q", rest)
 	}
 }
 

@@ -22,11 +22,16 @@ const Schema = "polarstar-metrics/1"
 // (binary revision, Go version, GOMAXPROCS). Every field is deterministic
 // for a fixed binary and command line.
 type Manifest struct {
-	Schema     string `json:"schema"`
-	Tool       string `json:"tool"`
-	Spec       string `json:"spec,omitempty"`
-	Routing    string `json:"routing,omitempty"`
-	Pattern    string `json:"pattern,omitempty"`
+	Schema  string `json:"schema"`
+	Tool    string `json:"tool"`
+	Spec    string `json:"spec,omitempty"`
+	Routing string `json:"routing,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	// SpecHash is the FNV-1a hash of the constructed topology's adjacency
+	// (%016x), set by layers that build graphs content-addressably (the
+	// serving layer): provenance that two artifacts really simulated the
+	// same wiring, not just the same spec name.
+	SpecHash   string `json:"spec_hash,omitempty"`
 	Seed       int64  `json:"seed"`
 	Workers    int    `json:"workers"`
 	GOMAXPROCS int    `json:"gomaxprocs"`

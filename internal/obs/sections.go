@@ -208,6 +208,29 @@ type Figure struct {
 	Faults []*FaultSweep `json:"faults,omitempty"`
 }
 
+// ServeStats is the counter snapshot of a psserve evaluation service:
+// request admission, the two cache layers (finished-Result artifacts and
+// resident built specs), and shedding. The service accumulates these
+// atomically and snapshots them into this struct on demand, so the
+// fields here are plain ints — obs stays synchronization-free.
+type ServeStats struct {
+	Requests    int64 `json:"requests"`     // eval requests admitted past decoding
+	BadRequests int64 `json:"bad_requests"` // eval requests rejected with a 4xx
+	CacheHits   int64 `json:"cache_hits"`   // evals answered from the artifact cache
+	CacheMisses int64 `json:"cache_misses"` // evals that had to run
+	Joined      int64 `json:"joined"`       // evals that joined an identical in-flight run
+	Shed        int64 `json:"shed"`         // evals rejected 429 with a full queue
+	Evictions   int64 `json:"evictions"`    // artifacts evicted by the LRU byte budget
+	CachedRuns  int64 `json:"cached_runs"`  // artifacts currently resident
+	CachedBytes int64 `json:"cached_bytes"` // artifact bytes currently resident
+
+	Builds      int64 `json:"builds"`       // topologies constructed (cold spec requests)
+	BuildHits   int64 `json:"build_hits"`   // requests served by an already-built spec
+	BuildShared int64 `json:"build_shared"` // requests that waited on a concurrent build
+	SpecsBuilt  int64 `json:"specs_built"`  // built specs currently resident
+	SpecBytes   int64 `json:"spec_bytes"`   // routing-state bytes of resident specs
+}
+
 // SearchEpoch is one barrier point of a pssearch best-cost trajectory
 // (mirrors search.EpochStat; obs stays dependency-free).
 type SearchEpoch struct {

@@ -15,6 +15,15 @@ func (t *Table) StateBytes() int64 {
 	return n * n
 }
 
+// MemBytes reports the actual heap footprint of the table's routing
+// arrays — the number a serving layer charges against its resident-spec
+// budget. Unlike StateBytes (the paper's storage model) this counts what
+// the process really holds: the distance matrix plus, in MultiPath mode,
+// the next-hop CSR.
+func (t *Table) MemBytes() int64 {
+	return int64(len(t.dist)) + 4*int64(len(t.nhOff)) + 4*int64(len(t.nh))
+}
+
 // NextHopEntries counts the total (router, destination, minimal next
 // hop) entries an all-minpath routing table stores — the storage the
 // paper attributes to SF/BF MIN routing.

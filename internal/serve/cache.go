@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is the finished-artifact LRU: cache key → the exact
+// marshaled response body of a completed evaluation, bounded by total
+// bytes. Storing the bytes (not the structs) is what makes warm replays
+// byte-identical to the cold run — the body is written back verbatim.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits      atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{maxBytes: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached body for key, counting a hit and refreshing
+// recency. The returned slice is shared — callers must not mutate it.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Peek is Get without the hit accounting or recency update — the poll
+// endpoint's lookup, which must not skew the eval-path counters.
+func (c *resultCache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put inserts a finished body under key, evicting from the cold end
+// until the byte budget holds. First writer wins — a concurrent
+// duplicate leaves the existing entry untouched, preserving the exact
+// bytes earlier hits already returned. Bodies larger than the whole
+// budget are not cached.
+func (c *resultCache) Put(key string, body []byte) {
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		e := c.ll.Remove(el).(*cacheEntry)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.body))
+		c.evictions.Add(1)
+	}
+}
+
+// Stats snapshots the cache counters: hits, evictions, resident entries
+// and resident bytes.
+func (c *resultCache) Stats() (hits, evictions, runs, bytes int64) {
+	c.mu.Lock()
+	runs, bytes = int64(c.ll.Len()), c.bytes
+	c.mu.Unlock()
+	return c.hits.Load(), c.evictions.Load(), runs, bytes
+}

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzEvalRequest throws arbitrary bytes at the request pipeline —
+// strict decode, normalization, plan parse, key derivation — and pins
+// the daemon's first line of defense: no input may panic, and every
+// accepted request must produce a well-formed 16-hex cache key.
+func FuzzEvalRequest(f *testing.F) {
+	f.Add(`{"spec":"ps-iq-small","cycles":200,"seed":3}`)
+	f.Add(`{"spec":"ps-iq-small","routing":"ugal","pattern":"adversarial","load":0.9}`)
+	f.Add(`{"spec":"ps-iq-small","fault_plan":"5 link-down 0 1\n9 router-down 3"}`)
+	f.Add(`{"spec":"","seed":-9223372036854775808,"load":1e308}`)
+	f.Add(`{"spec":"ps-iq-small"`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"spec":"ps-iq-small"} trailing`)
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeEvalRequest(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		if err := req.Normalize(); err != nil {
+			return
+		}
+		plan, err := req.plan()
+		if err != nil {
+			return
+		}
+		key := req.Key(plan)
+		if !isRunID(key) {
+			t.Fatalf("accepted request produced malformed key %q (body %q)", key, body)
+		}
+		// Key must be stable: same normalized request, same address.
+		if again := req.Key(plan); again != key {
+			t.Fatalf("key not deterministic: %q vs %q", key, again)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -120,26 +121,12 @@ func SweepObs(spec *Spec, mode RoutingMode, patternName string, loads []float64,
 				if sm != nil {
 					p.Metrics = sm.Points[i]
 				}
-				pattern, err := spec.Pattern(patternName, p.Seed)
+				point, err := RunPoint(context.Background(), spec, mode, patternName, loads[i], p)
 				if err != nil {
 					fail(err)
 					return
 				}
-				if err := CheckReachable(spec.Graph, spec.Config(), pattern); err != nil {
-					fail(err)
-					return
-				}
-				var routing Routing
-				switch mode {
-				case UGALMode:
-					routing = spec.UGALRouting(p.PacketFlits)
-				case UGALGMode:
-					routing = spec.UGALGRouting(p.PacketFlits)
-				default:
-					routing = spec.MinRouting()
-				}
-				eng := NewEngine(p, spec.Graph, spec.Config(), routing, pattern)
-				res.Points[i] = eng.Run(loads[i])
+				res.Points[i] = point
 			}
 		}()
 	}
@@ -147,6 +134,54 @@ func SweepObs(spec *Spec, mode RoutingMode, patternName string, loads []float64,
 	mu.Lock()
 	defer mu.Unlock()
 	return res, firstErr
+}
+
+// RunPoint evaluates one (spec, routing, pattern, load) point: it
+// validates the parameters, builds the pattern, checks reachability,
+// constructs an engine and runs it under ctx. Every failure mode —
+// including the calendar-overflow conditions NewEngine panics on — comes
+// back as an error, which makes this the entry point for untrusted
+// callers (the facade and the serving layer). Workers <= 0 defaults to
+// GOMAXPROCS. The Result is bit-identical for any worker count and any
+// non-cancelling context.
+func RunPoint(ctx context.Context, spec *Spec, mode RoutingMode, patternName string, load float64, params Params) (Result, error) {
+	if load <= 0 || load > 1 {
+		return Result{}, fmt.Errorf("sim: offered load must be in (0, 1], got %g", load)
+	}
+	cfg := spec.Config()
+	if err := params.Validate(cfg); err != nil {
+		return Result{}, err
+	}
+	if params.Workers <= 0 {
+		params.Workers = runtime.GOMAXPROCS(0)
+	}
+	if params.Plan != nil {
+		if err := params.Plan.Validate(spec.Graph); err != nil {
+			return Result{}, err
+		}
+	}
+	pattern, err := spec.Pattern(patternName, params.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	// Scripted faults may sever pairs on purpose; only healthy runs
+	// require every addressed pair to be reachable.
+	if params.Plan.Empty() {
+		if err := CheckReachable(spec.Graph, cfg, pattern); err != nil {
+			return Result{}, err
+		}
+	}
+	var routing Routing
+	switch mode {
+	case UGALMode:
+		routing = spec.UGALRouting(params.PacketFlits)
+	case UGALGMode:
+		routing = spec.UGALGRouting(params.PacketFlits)
+	default:
+		routing = spec.MinRouting()
+	}
+	eng := NewEngine(params, spec.Graph, cfg, routing, pattern)
+	return eng.RunContext(ctx, load)
 }
 
 // WriteSweep renders a sweep as an aligned text table.

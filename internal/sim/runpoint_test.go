@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestParamsValidate pins the untrusted-input contract: every parameter
+// combination NewEngine would panic on (and the basic sanity bounds)
+// must fail Validate, and the defaults must pass.
+func TestParamsValidate(t *testing.T) {
+	spec, err := NewSpec("ps-iq-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec.Config()
+	if err := DefaultParams(1).Validate(cfg); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	mut := func(f func(*Params)) Params {
+		p := DefaultParams(1)
+		f(&p)
+		return p
+	}
+	bad := map[string]Params{
+		"zero packet flits": mut(func(p *Params) { p.PacketFlits = 0 }),
+		"buffer under one packet": mut(func(p *Params) {
+			p.BufFlitsPerVC = p.PacketFlits - 1
+		}),
+		"negative link latency": mut(func(p *Params) { p.LinkLatency = -1 }),
+		"negative warmup":       mut(func(p *Params) { p.Warmup = -1 }),
+		"zero measure":          mut(func(p *Params) { p.Measure = 0 }),
+		"negative drain":        mut(func(p *Params) { p.Drain = -1 }),
+		"calendar overflow": mut(func(p *Params) {
+			p.Warmup, p.Measure, p.Drain = 1<<38, 1<<38, 1<<38
+		}),
+	}
+	for name, p := range bad {
+		if err := p.Validate(cfg); err == nil {
+			t.Errorf("%s: accepted %+v", name, p)
+		}
+	}
+}
+
+// TestRunPointErrors pins that RunPoint turns every invalid input into
+// an error — it is the entry point the serving layer feeds with
+// untrusted requests.
+func TestRunPointErrors(t *testing.T) {
+	spec, err := NewSpec("ps-iq-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := RunPoint(ctx, spec, MIN, "uniform", 0, DefaultParams(1)); err == nil {
+		t.Error("accepted load 0")
+	}
+	if _, err := RunPoint(ctx, spec, MIN, "uniform", 1.01, DefaultParams(1)); err == nil {
+		t.Error("accepted load > 1")
+	}
+	if _, err := RunPoint(ctx, spec, MIN, "no-such-pattern", 0.1, DefaultParams(1)); err == nil {
+		t.Error("accepted unknown pattern")
+	}
+	p := DefaultParams(1)
+	p.Measure = 0
+	if _, err := RunPoint(ctx, spec, MIN, "uniform", 0.1, p); err == nil {
+		t.Error("accepted invalid params")
+	}
+	p = DefaultParams(1)
+	p.Plan = &Plan{Events: []FaultEvent{{Cycle: 1, Kind: LinkDown, U: 0, V: -1}}}
+	if _, err := RunPoint(ctx, spec, MIN, "uniform", 0.1, p); err == nil {
+		t.Error("accepted invalid fault plan")
+	}
+}
+
+// TestRunPointCancellation: a pre-cancelled context must stop the run
+// with the context's error, and the engine must stay consumed (no
+// leaked pool goroutines — the race detector would catch reuse).
+func TestRunPointCancellation(t *testing.T) {
+	spec, err := NewSpec("ps-iq-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPoint(ctx, spec, MIN, "uniform", 0.1, DefaultParams(1)); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunPointMatchesSweep pins the refactor: a Sweep is exactly its
+// RunPoints — the sweep path and the service path produce identical
+// Results for the same tuple.
+func TestRunPointMatchesSweep(t *testing.T) {
+	spec, err := NewSpec("ps-iq-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams(3)
+	p.Warmup, p.Measure, p.Drain = 100, 200, 300
+	p.Workers = 2
+	loads := []float64{0.1, 0.3}
+	sweep, err := Sweep(spec, MIN, "uniform", loads, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, load := range loads {
+		pp := p
+		pp.Seed = p.Seed + int64(i)*7919 // the sweep's per-point seed schedule
+		point, err := RunPoint(context.Background(), spec, MIN, "uniform", load, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if point != sweep.Points[i] {
+			t.Errorf("load %g: RunPoint %+v != Sweep point %+v", load, point, sweep.Points[i])
+		}
+	}
+}

@@ -29,6 +29,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -590,12 +591,34 @@ func (e *Engine) markActive(unit int32, sh *shardState) {
 // load (flits per endpoint per cycle) and returns the metrics. An Engine
 // is single-use: build a fresh one per run.
 func (e *Engine) Run(load float64) Result {
+	res, _ := e.RunContext(context.Background(), load)
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context's Done
+// channel is polled every cancelCheckStride cycles, and a cancelled run
+// stops the worker pool and returns ctx.Err() with a zero Result. A
+// background context adds no overhead to the cycle loop (nil Done is
+// never polled). Cancellation consumes the engine like a completed run.
+func (e *Engine) RunContext(ctx context.Context, load float64) (Result, error) {
 	if e.now != 0 {
 		panic("sim: Engine.Run called twice; engines are single-use")
 	}
+	done := ctx.Done()
 	total := int64(e.p.Warmup + e.p.Measure + e.p.Drain)
 	e.initGeneration(load / float64(e.p.PacketFlits))
 	for t := int64(0); t < total; t++ {
+		if done != nil && t%cancelCheckStride == 0 {
+			select {
+			case <-done:
+				// Consume the engine so the single-use guard still trips on
+				// a second Run even when cancellation hit at t == 0.
+				e.now = total
+				e.pool.stop()
+				return Result{}, ctx.Err()
+			default:
+			}
+		}
 		e.stepCycle(t)
 		if e.fs != nil && e.fs.done {
 			// The watchdog declared the run wedged: everything still queued
@@ -614,8 +637,13 @@ func (e *Engine) Run(load float64) Result {
 	}
 	e.now = total
 	e.pool.stop()
-	return e.result(load)
+	return e.result(load), nil
 }
+
+// cancelCheckStride is how often RunContext polls its context: rare
+// enough to stay invisible in profiles, frequent enough that a deadline
+// lands within microseconds of wall time.
+const cancelCheckStride = 256
 
 // stepCycle advances the simulation by one cycle:
 //

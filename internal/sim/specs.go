@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"polarstar/internal/graph"
 	"polarstar/internal/route"
@@ -66,57 +67,73 @@ func (s *Spec) UGALGRouting(pktFlits int) Routing {
 // Table3Names lists the §9.1 simulated configurations.
 var Table3Names = []string{"ps-iq", "ps-pal", "bf", "hx", "df", "sf", "mf", "ft"}
 
+// specRegistry maps every constructible spec name to its builder.
+// NewSpec, KnownSpec and SpecNames share it, so a serving layer can
+// validate a requested name cheaply — without constructing the topology
+// — before admitting the request.
+var specRegistry = map[string]func(name string) (*Spec, error){
+	// 1064 routers, radix 15, p=5
+	"ps-iq":       func(n string) (*Spec, error) { return polarStarSpec(n, 11, 3, topo.KindIQ, 5) },
+	"ps-iq-small": func(n string) (*Spec, error) { return polarStarSpec(n, 5, 4, topo.KindIQ, 3) },
+	// PSIQ(23,11): 13272 routers, radix 35 — the §7 "largest diameter-3
+	// network" point, beyond the paper's simulations
+	"ps-iq-large": func(n string) (*Spec, error) { return polarStarSpec(n, 23, 11, topo.KindIQ, 11) },
+	// q=8, d'=6: 949 routers (see EXPERIMENTS.md E6 note)
+	"ps-pal":       func(n string) (*Spec, error) { return polarStarSpec(n, 8, 6, topo.KindPaley, 5) },
+	"ps-pal-small": func(n string) (*Spec, error) { return polarStarSpec(n, 5, 4, topo.KindPaley, 3) },
+	// 882 routers, radix 15, p=5
+	"bf":       func(n string) (*Spec, error) { return bundleflySpec(n, 7, 4, 5) },
+	"bf-small": func(n string) (*Spec, error) { return bundleflySpec(n, 5, 2, 3) },
+	// 648 routers, radix 23, p=8
+	"hx":       func(n string) (*Spec, error) { return hyperXSpec(n, []int{9, 9, 8}, 8) },
+	"hx-small": func(n string) (*Spec, error) { return hyperXSpec(n, []int{4, 4, 4}, 3) },
+	// 876 routers, radix 17, p=6
+	"df":       func(n string) (*Spec, error) { return dragonflySpec(n, 12, 6, 6) },
+	"df-small": func(n string) (*Spec, error) { return dragonflySpec(n, 6, 3, 3) },
+	// LPS(23,13): 1092 routers, radix 24, p=8
+	"sf": func(n string) (*Spec, error) { return lpsSpec(n, 23, 13, 8) },
+	// PGL(2,5): 120 routers, radix 14
+	"sf-small": func(n string) (*Spec, error) { return lpsSpec(n, 13, 5, 3) },
+	// 1040 routers, radix 16, p=8 on leaves
+	"mf":       func(n string) (*Spec, error) { return megaflySpec(n, 8, 16, 8) },
+	"mf-small": func(n string) (*Spec, error) { return megaflySpec(n, 3, 6, 3) },
+	// 972 routers, radix 36, p=18 on leaves
+	"ft":       func(n string) (*Spec, error) { return fatTreeSpec(n, 18) },
+	"ft-small": func(n string) (*Spec, error) { return fatTreeSpec(n, 5) },
+	// PolarFly: diameter-2 ER_31 network (992 routers, radix 32)
+	"pf":       func(n string) (*Spec, error) { return polarFlySpec(n, 31, 10) },
+	"pf-small": func(n string) (*Spec, error) { return polarFlySpec(n, 7, 3) },
+	// SlimFly: diameter-2 MMS(19) network (722 routers, radix 29)
+	"slimfly":       func(n string) (*Spec, error) { return slimFlySpec(n, 19, 9) },
+	"slimfly-small": func(n string) (*Spec, error) { return slimFlySpec(n, 5, 2) },
+}
+
 // NewSpec constructs a named topology spec. The Table 3 configurations
 // ("ps-iq", "ps-pal", "bf", "hx", "df", "sf", "mf", "ft") use the paper's
 // parameters; the "-small" variants are scaled-down versions of the same
 // construction for fast tests and default benchmarks.
 func NewSpec(name string) (*Spec, error) {
-	switch name {
-	case "ps-iq": // 1064 routers, radix 15, p=5
-		return polarStarSpec(name, 11, 3, topo.KindIQ, 5)
-	case "ps-iq-small":
-		return polarStarSpec(name, 5, 4, topo.KindIQ, 3)
-	case "ps-iq-large": // PSIQ(23,11): 13272 routers, radix 35 — the §7
-		// "largest diameter-3 network" point, beyond the paper's simulations
-		return polarStarSpec(name, 23, 11, topo.KindIQ, 11)
-	case "ps-pal": // q=8, d'=6: 949 routers (see EXPERIMENTS.md E6 note)
-		return polarStarSpec(name, 8, 6, topo.KindPaley, 5)
-	case "ps-pal-small":
-		return polarStarSpec(name, 5, 4, topo.KindPaley, 3)
-	case "bf": // 882 routers, radix 15, p=5
-		return bundleflySpec(name, 7, 4, 5)
-	case "bf-small":
-		return bundleflySpec(name, 5, 2, 3)
-	case "hx": // 648 routers, radix 23, p=8
-		return hyperXSpec(name, []int{9, 9, 8}, 8)
-	case "hx-small":
-		return hyperXSpec(name, []int{4, 4, 4}, 3)
-	case "df": // 876 routers, radix 17, p=6
-		return dragonflySpec(name, 12, 6, 6)
-	case "df-small":
-		return dragonflySpec(name, 6, 3, 3)
-	case "sf": // LPS(23,13): 1092 routers, radix 24, p=8
-		return lpsSpec(name, 23, 13, 8)
-	case "sf-small": // PGL(2,5): 120 routers, radix 14
-		return lpsSpec(name, 13, 5, 3)
-	case "mf": // 1040 routers, radix 16, p=8 on leaves
-		return megaflySpec(name, 8, 16, 8)
-	case "mf-small":
-		return megaflySpec(name, 3, 6, 3)
-	case "ft": // 972 routers, radix 36, p=18 on leaves
-		return fatTreeSpec(name, 18)
-	case "ft-small":
-		return fatTreeSpec(name, 5)
-	case "pf": // PolarFly: diameter-2 ER_31 network (992 routers, radix 32)
-		return polarFlySpec(name, 31, 10)
-	case "pf-small":
-		return polarFlySpec(name, 7, 3)
-	case "slimfly": // SlimFly: diameter-2 MMS(19) network (722 routers, radix 29)
-		return slimFlySpec(name, 19, 9)
-	case "slimfly-small":
-		return slimFlySpec(name, 5, 2)
+	if build, ok := specRegistry[name]; ok {
+		return build(name)
 	}
 	return nil, fmt.Errorf("sim: unknown spec %q", name)
+}
+
+// KnownSpec reports whether name is a constructible spec, without
+// building it.
+func KnownSpec(name string) bool {
+	_, ok := specRegistry[name]
+	return ok
+}
+
+// SpecNames returns every constructible spec name, sorted.
+func SpecNames() []string {
+	names := make([]string, 0, len(specRegistry))
+	for n := range specRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // MustNewSpec is NewSpec but panics on error.

@@ -7,6 +7,37 @@ import (
 	"polarstar/internal/traffic"
 )
 
+// Validate reports whether the parameters describe a runnable
+// experiment on a topology with cfg's endpoint count. It covers every
+// condition NewEngine would otherwise panic on (calendar overflow) plus
+// the basic sanity bounds, so callers fed from untrusted input — the
+// facade and the serving layer — can reject a request with an error
+// before any construction work happens.
+func (p Params) Validate(cfg traffic.Config) error {
+	if p.PacketFlits < 1 {
+		return fmt.Errorf("sim: PacketFlits must be >= 1, got %d", p.PacketFlits)
+	}
+	if p.BufFlitsPerVC < p.PacketFlits {
+		return fmt.Errorf("sim: BufFlitsPerVC (%d) must hold at least one packet (%d flits)", p.BufFlitsPerVC, p.PacketFlits)
+	}
+	if p.LinkLatency < 0 {
+		return fmt.Errorf("sim: LinkLatency must be >= 0, got %d", p.LinkLatency)
+	}
+	if p.Warmup < 0 || p.Measure < 1 || p.Drain < 0 {
+		return fmt.Errorf("sim: cycle windows must satisfy Warmup >= 0, Measure >= 1, Drain >= 0; got %d/%d/%d",
+			p.Warmup, p.Measure, p.Drain)
+	}
+	if total := int64(p.Warmup) + int64(p.Measure) + int64(p.Drain); total >= maxCycle {
+		return fmt.Errorf("sim: %d total cycles overflow the generation calendar's packed cycle field (max %d)",
+			total, maxCycle-1)
+	}
+	if eps := cfg.Endpoints(); eps >= maxEndpoint {
+		return fmt.Errorf("sim: %d endpoints overflow the generation calendar's %d-bit endpoint field (max %d)",
+			eps, epBits, maxEndpoint-1)
+	}
+	return nil
+}
+
 // CheckReachable verifies that the traffic pattern only addresses
 // endpoint pairs whose routers are connected in g, so a sweep on a
 // disconnected spec fails fast with a descriptive error instead of

@@ -29,6 +29,7 @@ import (
 	"polarstar/internal/partition"
 	"polarstar/internal/route"
 	"polarstar/internal/search"
+	"polarstar/internal/serve"
 	"polarstar/internal/sim"
 	"polarstar/internal/topo"
 	"polarstar/internal/traffic"
@@ -277,6 +278,17 @@ var (
 	// NewSpec builds a named topology spec ("ps-iq", "bf", "df", ...;
 	// see sim.Table3Names). Append "-small" for scaled-down variants.
 	NewSpec = sim.NewSpec
+	// KnownSpec reports whether a spec name is constructible, without
+	// building it.
+	KnownSpec = sim.KnownSpec
+	// SpecNames lists every constructible spec name, sorted.
+	SpecNames = sim.SpecNames
+	// RunSimPoint evaluates one (spec, routing, pattern, load) point
+	// with cooperative cancellation. Every invalid input — including the
+	// parameter combinations the engine constructor rejects by panicking
+	// — comes back as an error, making this (and Sweep, which runs on
+	// it) safe for untrusted callers.
+	RunSimPoint = sim.RunPoint
 	// DefaultSimParams mirrors the §9.4 configuration.
 	DefaultSimParams = sim.DefaultParams
 	// Sweep runs a latency-load experiment.
@@ -303,6 +315,28 @@ const (
 	// UGALRouting selects load-balancing adaptive routing.
 	UGALRouting = sim.UGALMode
 )
+
+// ---------------------------------------------------------------------
+// Evaluation service (cmd/psserve).
+
+// Evaluation-service types: the simulator behind an HTTP/JSON API with
+// a content-addressed artifact cache (see internal/serve and DESIGN.md
+// §12).
+type (
+	// EvalService is the multi-tenant evaluation daemon: bounded worker
+	// pool, singleflight topology builds, byte-bounded result LRU.
+	EvalService = serve.Service
+	// EvalServiceConfig bounds an EvalService; zero values take defaults.
+	EvalServiceConfig = serve.Config
+	// EvalRequest is the POST /v1/eval body.
+	EvalRequest = serve.EvalRequest
+	// EvalResponse is the body of a completed evaluation.
+	EvalResponse = serve.EvalResponse
+)
+
+// NewEvalService starts an evaluation service; serve its Handler() over
+// HTTP and stop it with Close.
+func NewEvalService(cfg EvalServiceConfig) *EvalService { return serve.New(cfg) }
 
 // ---------------------------------------------------------------------
 // Structural analysis (§11).
