@@ -146,7 +146,10 @@ func TestFacadeExtensions(t *testing.T) {
 	if len(paths) != 3 {
 		t.Errorf("disjoint paths = %d, want 3", len(paths))
 	}
-	trees := polarstar.EdgeDisjointSpanningTrees(ps.G, 0, 2, 1)
+	trees, err := polarstar.EdgeDisjointSpanningTrees(ps.G, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(trees) != 2 {
 		t.Errorf("spanning trees = %d, want 2", len(trees))
 	}
@@ -180,6 +183,61 @@ func TestFacadeExtensions(t *testing.T) {
 	}
 	if tm := polarstar.RunTreeAllreduce(net, trees, 4096, 1); tm <= 0 {
 		t.Error("tree allreduce failed")
+	}
+}
+
+// TestFacadeMultipathResilience exercises the multipath surface: lane
+// extraction through NewMultiPath/NewTreeEscape, an MP-UGAL sweep
+// point, and a small live-fault ResilienceSweep comparing MIN to MP-MIN.
+func TestFacadeMultipathResilience(t *testing.T) {
+	spec, err := polarstar.NewSpec("ps-iq-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := polarstar.NewMultiPath(spec.Graph, spec.MinEngine, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.TreeLanes() < 1 {
+		t.Fatalf("no tree lanes extracted")
+	}
+	if _, err := polarstar.NewTreeEscape(spec.Graph, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	p := polarstar.DefaultSimParams(1)
+	p.Warmup, p.Measure, p.Drain = 200, 400, 1200
+	res, err := polarstar.Sweep(spec, polarstar.MPUGALRouting, "uniform", []float64{0.1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].DeliveredFrac < 0.99 {
+		t.Errorf("multipath delivery %.3f", res.Points[0].DeliveredFrac)
+	}
+
+	cfg := polarstar.ResilienceConfig{
+		Modes:       []polarstar.RoutingMode{polarstar.MINRouting, polarstar.MPMINRouting},
+		Counts:      []int{0, 2},
+		Load:        0.2,
+		RepairDelay: 50,
+		Seed:        3,
+	}
+	curves, err := polarstar.ResilienceSweep(spec, cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 || len(curves[0].Points) != 2 {
+		t.Fatalf("sweep shape: %d curves", len(curves))
+	}
+	if curves[1].Lanes < 1 {
+		t.Errorf("multipath curve reports no lanes")
+	}
+	for _, c := range curves {
+		for _, pt := range c.Points {
+			if pt.DeliveredFrac <= 0 {
+				t.Errorf("%s with %d failures delivered nothing", c.Mode, pt.Failures)
+			}
+		}
 	}
 }
 

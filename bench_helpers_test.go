@@ -10,5 +10,5 @@ import (
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func newTableEngine(ps *topo.PolarStar) route.Engine {
-	return route.NewTable(ps.G, route.MultiPath)
+	return route.NewTable(ps.G, route.AllMinPaths)
 }

@@ -29,8 +29,12 @@ import (
 
 // benchEntry is one (spec, routing) sweep measurement.
 type benchEntry struct {
-	Spec          string    `json:"spec"`
-	Routing       string    `json:"routing"`
+	Spec    string `json:"spec"`
+	Routing string `json:"routing"`
+	// Lanes is the spanning-tree lane count of a multipath entry (0 on
+	// single-table routings): the k-lane sweep timing rows quantify what
+	// the lane spray costs the healthy engine.
+	Lanes         int       `json:"lanes,omitempty"`
 	Loads         []float64 `json:"loads"`
 	CyclesPerRun  int       `json:"cycles_per_run"`
 	WallSeconds   float64   `json:"wall_seconds"`
@@ -110,6 +114,8 @@ func main() {
 	}{
 		{"ps-iq-small", sim.MIN},
 		{"ps-iq-small", sim.UGALMode},
+		{"ps-iq-small", sim.MPMINMode},
+		{"ps-iq-small", sim.MPUGALMode},
 		{"hx-small", sim.UGALMode},
 	}
 	loads := []float64{0.1, 0.3, 0.5}
@@ -121,6 +127,12 @@ func main() {
 		p.Warmup, p.Measure, p.Drain = 500, 1000, 1500
 		p.Workers = *workers
 		sm := obs.NewSimSweep(c.spec, c.mode.String(), "uniform", len(loads))
+		lanes := 0
+		if c.mode == sim.MPMINMode || c.mode == sim.MPUGALMode {
+			if r, err := spec.MultiPathRouting(spec.MinRouting(), p.Lanes, p.PacketFlits); err == nil {
+				lanes = r.(*sim.MultiPathRouting).MP.TreeLanes()
+			}
+		}
 
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
@@ -142,6 +154,7 @@ func main() {
 		e := benchEntry{
 			Spec:         c.spec,
 			Routing:      c.mode.String(),
+			Lanes:        lanes,
 			Loads:        loads,
 			CyclesPerRun: perRun,
 			WallSeconds:  wall,

@@ -10,6 +10,12 @@
 //	psfaults -spec ps-iq -trials 100
 //	psfaults -spec df -trials 20
 //	psfaults -spec ps-iq-small -traffic -load 0.3 -mode ugal
+//
+// With -resilience it instead scripts live link failures *during* each
+// run and compares routing modes' sustained throughput as the failure
+// count grows (multipath lanes vs MIN vs UGAL):
+//
+//	psfaults -spec ps-iq-43 -resilience -counts 0,2,4,8 -rmodes min,mp-min
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"polarstar/internal/faults"
 	"polarstar/internal/obs"
@@ -37,6 +45,16 @@ func main() {
 		pattern  = flag.String("pattern", "uniform", "traffic pattern for -traffic")
 		workers  = flag.Int("workers", 0, "engine shard workers per -traffic run (0: one per core)")
 
+		resilience = flag.Bool("resilience", false, "compare routing modes under scripted live link failures (throughput vs failure count)")
+		counts     = flag.String("counts", "0,1,2,4,6,8", "failure counts for -resilience (comma-separated links killed)")
+		rmodes     = flag.String("rmodes", "min,ugal,mp-min", "routing curves for -resilience: min, ugal, ugal-g, mp-min, mp-ugal")
+		lanes      = flag.Int("lanes", 0, "spanning-tree lanes of the mp-* modes (0: default 3)")
+		killCycle  = flag.Int64("kill-cycle", 0, "cycle the -resilience failures land (0: end of warmup)")
+		rMTBF      = flag.Int64("resilience-mtbf", 0, "spread -resilience failures this many cycles apart (0: one batch)")
+		rRepair    = flag.Int64("resilience-repair", 0, "repair each -resilience failure after this many cycles (0: permanent)")
+		rTarget    = flag.Int("target-lanes", 0, "draw -resilience failures from the tree edges of the first N multipath lanes (0: uniform over all links)")
+		rDelay     = flag.Int64("repair-delay", 0, "table-reconvergence stall in cycles after each -resilience fault event (0: instant repair)")
+
 		faultPlan    = flag.String("fault-plan", "", "live fault plan file applied during each -traffic run")
 		mtbf         = flag.Float64("mtbf", 0, "additionally generate random live link failures with this mean-cycles-between-failures (0: none)")
 		faultRepair  = flag.Int64("fault-repair", 0, "repair delay in cycles for -mtbf failures (0: permanent)")
@@ -52,6 +70,13 @@ func main() {
 	spec, err := sim.NewSpec(*specName)
 	if err != nil {
 		fatal(err)
+	}
+	if *resilience {
+		rc := resilienceFlags{counts: *counts, rmodes: *rmodes, lanes: *lanes,
+			killCycle: *killCycle, mtbf: *rMTBF, repair: *rRepair, target: *rTarget, delay: *rDelay,
+			retries: *retries, backoff: *retryBackoff, cap: *retryCap, maxAge: *pktMaxAge}
+		runResilience(spec, *pattern, *load, *seed, *workers, rc, met)
+		return
 	}
 	if *traffic {
 		lf := liveFaults{plan: *faultPlan, mtbf: *mtbf, repair: *faultRepair,
@@ -120,6 +145,111 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("# wrote %s\n", *svgOut)
+	}
+	if met.Enabled() {
+		if err := met.Write(run); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# wrote metrics %s\n", *met.Path)
+	}
+}
+
+// resilienceFlags bundles the -resilience flag values.
+type resilienceFlags struct {
+	counts, rmodes       string
+	lanes, target        int
+	killCycle            int64
+	mtbf, repair, delay  int64
+	retries              int
+	backoff, cap, maxAge int64
+}
+
+func runResilience(spec *sim.Spec, pattern string, load float64, seed int64, workers int, rc resilienceFlags, met *obs.FlagSet) {
+	var cfg faults.ResilienceConfig
+	for _, f := range strings.Split(rc.counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(fmt.Errorf("-counts: %w", err))
+		}
+		cfg.Counts = append(cfg.Counts, n)
+	}
+	for _, m := range strings.Split(rc.rmodes, ",") {
+		switch strings.TrimSpace(m) {
+		case "min":
+			cfg.Modes = append(cfg.Modes, sim.MIN)
+		case "ugal":
+			cfg.Modes = append(cfg.Modes, sim.UGALMode)
+		case "ugal-g":
+			cfg.Modes = append(cfg.Modes, sim.UGALGMode)
+		case "mp-min":
+			cfg.Modes = append(cfg.Modes, sim.MPMINMode)
+		case "mp-ugal":
+			cfg.Modes = append(cfg.Modes, sim.MPUGALMode)
+		default:
+			fatal(fmt.Errorf("-rmodes: unknown routing %q", m))
+		}
+	}
+	params := sim.DefaultParams(seed)
+	cfg.Pattern = pattern
+	cfg.Load = load
+	cfg.KillCycle = rc.killCycle
+	if cfg.KillCycle <= 0 {
+		cfg.KillCycle = int64(params.Warmup)
+	}
+	cfg.MTBF = rc.mtbf
+	cfg.Repair = rc.repair
+	cfg.TargetLanes = rc.target
+	cfg.RepairDelay = rc.delay
+	cfg.Seed = seed
+
+	params.MetricsInterval = *met.Interval
+	params.Lanes = rc.lanes
+	params.Retry = retryPolicy(rc.retries, rc.backoff, rc.cap, rc.maxAge)
+	if workers > 0 {
+		params.Workers = workers
+	} else {
+		params.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	var run *obs.Run
+	var fr *obs.FaultResilience
+	if met.Enabled() {
+		run = obs.NewRun("psfaults")
+		run.Manifest.Spec = spec.Name
+		run.Manifest.Pattern = pattern
+		run.Manifest.Seed = seed
+		run.Manifest.Workers = params.Workers
+		fr = &obs.FaultResilience{}
+		run.FaultResilience = fr
+	}
+	var curves []faults.ResilienceCurve
+	var err error
+	prof.Task(func() {
+		curves, err = faults.ResilienceSweepObs(spec, cfg, params, fr)
+	}, "phase", "fault-resilience", "spec", spec.Name)
+	if err != nil {
+		fatal(err)
+	}
+	target := ""
+	if cfg.TargetLanes > 0 {
+		target = fmt.Sprintf(" target-lanes=%d", cfg.TargetLanes)
+	}
+	if cfg.RepairDelay > 0 {
+		target += fmt.Sprintf(" repair-delay=%d", cfg.RepairDelay)
+	}
+	fmt.Printf("# %s %s resilience at load %.2f (kill@%d mtbf=%d repair=%d%s)\n",
+		spec.Name, pattern, load, cfg.KillCycle, cfg.MTBF, cfg.Repair, target)
+	fmt.Printf("%-9s %-9s %-12s %-12s %-10s %-8s %-8s\n",
+		"routing", "failures", "throughput", "avg-lat", "delivered", "lost", "retried")
+	for _, c := range curves {
+		name := c.Mode.String()
+		if c.Lanes > 0 {
+			name = fmt.Sprintf("%s(%d)", name, c.Lanes)
+		}
+		for _, p := range c.Points {
+			fmt.Printf("%-9s %-9d %-12.4f %-12.2f %-10.3f %-8d %-8d\n",
+				name, p.Failures, p.Throughput, p.AvgLatency, p.DeliveredFrac, p.Lost, p.Retried)
+		}
 	}
 	if met.Enabled() {
 		if err := met.Write(run); err != nil {
@@ -227,6 +357,7 @@ func faultManifest(params sim.Params, source string, mtbf float64, repair int64)
 		Source:      source,
 		MTBF:        mtbf,
 		Repair:      repair,
+		RepairDelay: params.RepairDelay,
 		MaxRetries:  params.Retry.MaxRetries,
 		BackoffBase: params.Retry.BackoffBase,
 		BackoffCap:  params.Retry.BackoffCap,

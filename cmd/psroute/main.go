@@ -46,13 +46,13 @@ func main() {
 			// Build the PolarStar router if this is a PolarStar spec with
 			// a different engine; otherwise report table numbers only.
 			fmt.Println("spec does not use the analytic router; table accounting only")
-			tab := route.NewTable(spec.Graph, route.MultiPath)
+			tab := route.NewTable(spec.Graph, route.AllMinPaths)
 			fmt.Printf("distance-table floor: %d bytes total (%d per router)\n",
 				tab.StateBytes(), spec.Graph.N())
 			fmt.Printf("all-minpath entries:  %d total\n", tab.NextHopEntries())
 			return
 		}
-		tab := route.NewTable(spec.Graph, route.MultiPath)
+		tab := route.NewTable(spec.Graph, route.AllMinPaths)
 		cmp := route.CompareState(psRouter, tab)
 		fmt.Printf("routers:                         %d\n", cmp.Routers)
 		fmt.Printf("analytic state per router:       %d bytes\n", cmp.AnalyticPerRouter)

@@ -24,7 +24,8 @@ import (
 func main() {
 	var (
 		specName = flag.String("spec", "ps-iq", "topology spec: "+strings.Join(sim.Table3Names, "|")+" (+\"-small\")")
-		routing  = flag.String("routing", "min", "min|ugal")
+		routing  = flag.String("routing", "min", "min|ugal|ugal-g|mp-min|mp-ugal")
+		lanes    = flag.Int("lanes", 0, "spanning-tree lanes for mp-min/mp-ugal (0: engine default)")
 		pattern  = flag.String("pattern", "uniform", "uniform|permutation|bitshuffle|bitreverse|adversarial")
 		loadsArg = flag.String("loads", "", "comma-separated offered loads (default standard ladder)")
 		cycles   = flag.Int("cycles", 0, "override measurement cycles (warmup=cycles/2, drain=3*cycles/2)")
@@ -35,6 +36,7 @@ func main() {
 		faultPlan    = flag.String("fault-plan", "", "live fault plan file: one '<cycle> link-down|link-up|router-down|router-up <args>' per line")
 		mtbf         = flag.Float64("mtbf", 0, "additionally generate random link failures with this mean-cycles-between-failures (0: none)")
 		faultRepair  = flag.Int64("fault-repair", 0, "repair delay in cycles for -mtbf failures (0: permanent)")
+		repairDelay  = flag.Int64("repair-delay", 0, "table-reconvergence stall in cycles after each applied fault event (0: instant repair)")
 		retries      = flag.Int("retries", 0, "max source retries per packet under faults (0: default policy)")
 		retryBackoff = flag.Int64("retry-backoff", 0, "base retry backoff in cycles, doubling per retry (0: default)")
 		retryCap     = flag.Int64("retry-cap", 0, "retry backoff cap in cycles (0: default)")
@@ -49,9 +51,17 @@ func main() {
 		fatal(err)
 	}
 	mode := sim.MIN
-	if *routing == "ugal" {
+	switch *routing {
+	case "min":
+	case "ugal":
 		mode = sim.UGALMode
-	} else if *routing != "min" {
+	case "ugal-g":
+		mode = sim.UGALGMode
+	case "mp-min":
+		mode = sim.MPMINMode
+	case "mp-ugal":
+		mode = sim.MPUGALMode
+	default:
 		fatal(fmt.Errorf("unknown routing %q", *routing))
 	}
 	loads := sim.DefaultLoads
@@ -67,6 +77,7 @@ func main() {
 	}
 	params := sim.DefaultParams(*seed)
 	params.Workers = *workers
+	params.Lanes = *lanes
 	params.MetricsInterval = *met.Interval
 	if *cycles > 0 {
 		params.Warmup = *cycles / 2
@@ -81,6 +92,7 @@ func main() {
 		}
 		params.Plan = plan
 		params.Retry = retryPolicy(*retries, *retryBackoff, *retryCap, *pktMaxAge)
+		params.RepairDelay = *repairDelay
 	}
 	var run *obs.Run
 	var sm *obs.SimSweep
@@ -172,6 +184,7 @@ func faultManifest(params sim.Params, source string, mtbf float64, repair int64)
 		Source:      source,
 		MTBF:        mtbf,
 		Repair:      repair,
+		RepairDelay: params.RepairDelay,
 		MaxRetries:  params.Retry.MaxRetries,
 		BackoffBase: params.Retry.BackoffBase,
 		BackoffCap:  params.Retry.BackoffCap,

@@ -21,7 +21,7 @@ func main() {
 		log.Fatal(err)
 	}
 	analytic := route.NewPolarStar(ps)
-	table := route.NewTable(ps.G, route.MultiPath)
+	table := route.NewTable(ps.G, route.AllMinPaths)
 
 	cmp := route.CompareState(analytic, table)
 	fmt.Printf("Network: %v\n\n", ps.G)

@@ -79,7 +79,7 @@ func TestMinpathNearUniquenessOnPolarStar(t *testing.T) {
 		t.Fatal(err)
 	}
 	single := ComputeLinkLoads(spec.Graph, spec.MinEngine, spec.Config(), pattern, 5, 1)
-	multi := ComputeLinkLoads(spec.Graph, route.NewTable(spec.Graph, route.MultiPath), spec.Config(), pattern, 5, 1)
+	multi := ComputeLinkLoads(spec.Graph, route.NewTable(spec.Graph, route.AllMinPaths), spec.Config(), pattern, 5, 1)
 	ratio := multi.SaturationBound() / single.SaturationBound()
 	if ratio < 0.7 || ratio > 1.4 {
 		t.Errorf("all-minpath bound %.4f differs from analytic %.4f by more than expected",

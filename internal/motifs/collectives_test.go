@@ -85,7 +85,10 @@ func TestCollectivesDegenerate(t *testing.T) {
 // than a single tree for bandwidth-bound messages.
 func TestTreeAllreduceScalesWithTrees(t *testing.T) {
 	spec := sim.MustNewSpec("ps-iq-small")
-	trees := route.EdgeDisjointSpanningTrees(spec.Graph, 0, 0, 1)
+	trees, err := route.EdgeDisjointSpanningTrees(spec.Graph, 0, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(trees) < 2 {
 		t.Skip("not enough disjoint trees")
 	}

@@ -56,15 +56,19 @@ type Manifest struct {
 
 // FaultPlan is the manifest block describing a live fault-injection run.
 type FaultPlan struct {
-	Hash        string  `json:"hash"`             // FNV-1a of the canonical plan text, %016x
-	Events      int     `json:"events"`           // scripted events in the merged plan
-	Source      string  `json:"source,omitempty"` // plan file path, when one was given
-	MTBF        float64 `json:"mtbf,omitempty"`   // mean cycles between generated failures (0: none)
-	Repair      int64   `json:"repair,omitempty"` // generated-failure repair delay in cycles (0: permanent)
-	MaxRetries  int     `json:"max_retries"`
-	BackoffBase int64   `json:"backoff_base"`
-	BackoffCap  int64   `json:"backoff_cap"`
-	MaxAge      int64   `json:"max_age"`
+	Hash   string  `json:"hash"`             // FNV-1a of the canonical plan text, %016x
+	Events int     `json:"events"`           // scripted events in the merged plan
+	Source string  `json:"source,omitempty"` // plan file path, when one was given
+	MTBF   float64 `json:"mtbf,omitempty"`   // mean cycles between generated failures (0: none)
+	Repair int64   `json:"repair,omitempty"` // generated-failure repair delay in cycles (0: permanent)
+	// RepairDelay is the single-table reconvergence stall charged after
+	// every applied fault event (sim.Params.RepairDelay); 0 means
+	// repair was instantaneous.
+	RepairDelay int64 `json:"repair_delay,omitempty"`
+	MaxRetries  int   `json:"max_retries"`
+	BackoffBase int64 `json:"backoff_base"`
+	BackoffCap  int64 `json:"backoff_cap"`
+	MaxAge      int64 `json:"max_age"`
 }
 
 // Timing is the volatile block of an artifact: wall and CPU time differ
@@ -80,12 +84,13 @@ type Timing struct {
 type Run struct {
 	Manifest Manifest `json:"manifest"`
 
-	Sim          *SimSweep     `json:"sim,omitempty"`
-	Faults       *FaultSweep   `json:"faults,omitempty"`
-	FaultTraffic *FaultTraffic `json:"fault_traffic,omitempty"`
-	Flows        []*FlowRun    `json:"flows,omitempty"`
-	Figures      []*Figure     `json:"figures,omitempty"`
-	Search       *SearchRun    `json:"search,omitempty"`
+	Sim             *SimSweep        `json:"sim,omitempty"`
+	Faults          *FaultSweep      `json:"faults,omitempty"`
+	FaultTraffic    *FaultTraffic    `json:"fault_traffic,omitempty"`
+	FaultResilience *FaultResilience `json:"fault_resilience,omitempty"`
+	Flows           []*FlowRun       `json:"flows,omitempty"`
+	Figures         []*Figure        `json:"figures,omitempty"`
+	Search          *SearchRun       `json:"search,omitempty"`
 
 	Timing *Timing `json:"timing,omitempty"`
 

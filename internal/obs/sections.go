@@ -60,6 +60,24 @@ type SimRun struct {
 	// with omitempty so artifacts of healthy runs are byte-identical to
 	// the pre-fault schema.
 	Faults *SimFaults `json:"faults,omitempty"`
+
+	// Lanes is the per-lane accounting of a multipath-routed run, present
+	// only when the routing sprays over spanning-tree lanes. Same
+	// pointer+omitempty contract as Faults.
+	Lanes *SimLanes `json:"lanes,omitempty"`
+}
+
+// SimLanes is the per-lane accounting of one multipath-routed run: how
+// traffic spread over the minimal-path lane (index 0) and the k
+// spanning-tree lanes (1..k), and how the lane-health machinery reacted
+// to faults. Slices are indexed by lane, length k+1.
+type SimLanes struct {
+	Lanes     int     `json:"lanes"`     // tree lanes k (excluding the minimal lane)
+	Chosen    []int64 `json:"chosen"`    // packets routed onto the lane at injection
+	Delivered []int64 `json:"delivered"` // packets ejected that last rode the lane
+	Failovers []int64 `json:"failovers"` // in-flight reroutes ONTO the lane (dead channel ahead)
+	Demoted   int64   `json:"demoted"`   // lane demotions (a tree edge died)
+	Promoted  int64   `json:"promoted"`  // lanes returned to service after heal + re-probe
 }
 
 // SimFaults is the fault accounting of one live fault-injected
@@ -198,6 +216,40 @@ type FaultTraffic struct {
 	Spec   string               `json:"spec,omitempty"`
 	Load   float64              `json:"load"`
 	Points []*FaultTrafficPoint `json:"points"`
+}
+
+// FaultResiliencePoint is one failure count of a resilience sweep: the
+// number of links the plan kills plus the full simulator metrics.
+type FaultResiliencePoint struct {
+	Failures int     `json:"failures"`
+	Sim      *SimRun `json:"sim"`
+}
+
+// FaultResilienceCurve is one routing mode's throughput/latency-vs-
+// failure-count curve of a faults.ResilienceSweep run.
+type FaultResilienceCurve struct {
+	Routing string                  `json:"routing"`
+	Lanes   int                     `json:"lanes,omitempty"` // tree lanes of a multipath mode
+	Points  []*FaultResiliencePoint `json:"points"`
+}
+
+// FaultResilience is the metric set of a faults.ResilienceSweep run:
+// every compared routing mode simulated under the same nested live
+// fault plans at the same offered load.
+type FaultResilience struct {
+	Spec      string  `json:"spec,omitempty"`
+	Pattern   string  `json:"pattern,omitempty"`
+	Load      float64 `json:"load"`
+	KillCycle int64   `json:"kill_cycle"`
+	MTBF      int64   `json:"mtbf,omitempty"`
+	Repair    int64   `json:"repair,omitempty"`
+	// RepairDelay is the table-reconvergence stall in cycles imposed on
+	// single-table repair after every fault event (0: instant).
+	RepairDelay int64 `json:"repair_delay,omitempty"`
+	// TargetLanes > 0 means the killed links were drawn from the first
+	// TargetLanes multipath tree lanes instead of uniformly at random.
+	TargetLanes int                     `json:"target_lanes,omitempty"`
+	Curves      []*FaultResilienceCurve `json:"curves"`
 }
 
 // Figure is one figure of a psfig run; sim/fault figures attach their

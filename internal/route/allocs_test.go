@@ -33,7 +33,7 @@ func TestAppendPathZeroAllocs(t *testing.T) {
 	}
 	engines := map[string]Engine{
 		"polarstar": NewPolarStar(ps),
-		"table-mp":  NewTable(ps.G, MultiPath),
+		"table-mp":  NewTable(ps.G, AllMinPaths),
 		"table-sp":  NewTable(ps.G, SinglePath),
 	}
 	if hx, err := topo.NewHyperX(4, 4, 4); err == nil {

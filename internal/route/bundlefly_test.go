@@ -67,7 +67,7 @@ func TestBundleflyAnalyticSpotCheckTable3(t *testing.T) {
 // more than one minimal path for some pair.
 func TestBundleflyPathDiversityAvailable(t *testing.T) {
 	bf := topo.MustNewBundlefly(5, 2)
-	multi := NewTable(bf.G, MultiPath)
+	multi := NewTable(bf.G, AllMinPaths)
 	rng := rand.New(rand.NewSource(5))
 	diverse := false
 	for src := 0; src < bf.G.N() && !diverse; src += 17 {

@@ -85,7 +85,7 @@ type Dragonfly struct {
 // tiny, so a table over the switch graph keeps the implementation exact
 // while the hierarchical structure bounds paths at 3 hops.
 func NewDragonfly(df *topo.Dragonfly) *Dragonfly {
-	return &Dragonfly{df: df, t: NewTable(df.G, MultiPath)}
+	return &Dragonfly{df: df, t: NewTable(df.G, AllMinPaths)}
 }
 
 // Dist implements Engine.
@@ -157,7 +157,7 @@ func (r *FatTree) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
 // Megafly routes leaf→spine→(global)→spine→leaf, with spine choice
 // diversity inside the source group (§9.3: "path diversity between
 // routers within the same group"). Implemented over a small exact table
-// with MultiPath sampling, which realizes exactly that diversity.
+// with AllMinPaths sampling, which realizes exactly that diversity.
 type Megafly struct {
 	mf *topo.Megafly
 	t  *Table
@@ -165,7 +165,7 @@ type Megafly struct {
 
 // NewMegafly builds the Megafly minimal router.
 func NewMegafly(mf *topo.Megafly) *Megafly {
-	return &Megafly{mf: mf, t: NewTable(mf.G, MultiPath)}
+	return &Megafly{mf: mf, t: NewTable(mf.G, AllMinPaths)}
 }
 
 // Dist implements Engine.

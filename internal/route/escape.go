@@ -24,11 +24,18 @@ const escMaxDepth = 64
 
 // NewTreeEscape extracts up to maxTrees edge-disjoint spanning trees of g
 // (deterministic per seed) and prepares them for liveness-checked path
-// queries. A graph too sparse to span yields zero trees; AppendPath then
-// always fails over to its caller's last resort.
-func NewTreeEscape(g *graph.Graph, maxTrees int, seed int64) *TreeEscape {
+// queries. It shares EdgeDisjointSpanningTrees's error contract:
+// maxTrees <= 0 is ErrTreeCount and a graph with no spanning tree is
+// ErrDisconnected. Callers that can live without escape paths (the
+// simulator's fault machinery) may fall back to a zero TreeEscape, whose
+// AppendPath always fails over to its caller's last resort.
+func NewTreeEscape(g *graph.Graph, maxTrees int, seed int64) (*TreeEscape, error) {
+	trees, err := EdgeDisjointSpanningTrees(g, 0, maxTrees, seed)
+	if err != nil {
+		return nil, err
+	}
 	te := &TreeEscape{}
-	for _, tr := range EdgeDisjointSpanningTrees(g, 0, maxTrees, seed) {
+	for _, tr := range trees {
 		depth := make([]int32, len(tr.Parent))
 		for i := range depth {
 			depth[i] = -1
@@ -54,7 +61,7 @@ func NewTreeEscape(g *graph.Graph, maxTrees int, seed int64) *TreeEscape {
 		te.parent = append(te.parent, tr.Parent)
 		te.depth = append(te.depth, depth)
 	}
-	return te
+	return te, nil
 }
 
 // Trees returns the number of escape trees available.

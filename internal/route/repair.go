@@ -76,7 +76,7 @@ func (t *Table) DropEdge(u, v int) {
 		}
 	}
 
-	if t.mode == MultiPath {
+	if t.mode == AllMinPaths {
 		// A source's next-hop block depends on its own adjacency and
 		// distance row plus every neighbor's row: refill blocks of the
 		// endpoints, the dirty sources, and every neighbor of a dirty

@@ -29,7 +29,7 @@ func TestRepairMatchesRebuild(t *testing.T) {
 			t.Parallel()
 			rng := rand.New(rand.NewSource(11))
 			cur := tc.g
-			tab := NewTable(tc.g, MultiPath).Clone() // repair in place, keep tc.g's table pristine
+			tab := NewTable(tc.g, AllMinPaths).Clone() // repair in place, keep tc.g's table pristine
 			removals := 200
 			if m := tc.g.M(); removals > m-1 {
 				removals = m - 1
@@ -39,7 +39,7 @@ func TestRepairMatchesRebuild(t *testing.T) {
 				e := edges[rng.Intn(len(edges))]
 				tab.DropEdge(e[0], e[1])
 				cur = cur.RemoveEdges([][2]int{e})
-				ref := NewTable(cur, MultiPath)
+				ref := NewTable(cur, AllMinPaths)
 				if !bytes.Equal(tab.dist, ref.dist) {
 					t.Fatalf("removal %d (%v): repaired dist differs from rebuild", i, e)
 				}
@@ -58,12 +58,12 @@ func TestRepairMatchesRebuild(t *testing.T) {
 // the table untouched.
 func TestRepairDropMissingEdgeNoop(t *testing.T) {
 	g := topo.MustNewPolarStar(3, 3, topo.KindIQ).G
-	tab := NewTable(g, MultiPath).Clone()
+	tab := NewTable(g, AllMinPaths).Clone()
 	e := g.Edges()[0]
 	tab.DropEdge(e[0], e[1])
 	tab.DropEdge(e[0], e[1]) // second drop: the edge is already gone
 	cur := g.RemoveEdges([][2]int{e})
-	want := NewTable(cur, MultiPath)
+	want := NewTable(cur, AllMinPaths)
 	if !bytes.Equal(tab.dist, want.dist) || !eqInt32(tab.nh, want.nh) {
 		t.Fatal("double DropEdge diverged from single removal")
 	}

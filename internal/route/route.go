@@ -48,7 +48,7 @@ type Engine interface {
 }
 
 // Table is the all-pairs BFS routing engine: a distance table plus
-// per-step next-hop sampling. Mode MultiPath samples uniformly among all
+// per-step next-hop sampling. Mode AllMinPaths samples uniformly among all
 // minimal next hops at every step (the "all minpaths in routing tables"
 // configuration used for Spectralfly and Bundlefly in §9.3); SinglePath
 // always picks the lowest-numbered next hop (one fixed minpath per pair).
@@ -57,7 +57,7 @@ type Table struct {
 	dist []uint8 // n*n hop distances
 	mode TableMode
 
-	// Minimal-next-hop CSR (MultiPath only): nh[nhOff[src*n+dst] :
+	// Minimal-next-hop CSR (AllMinPaths only): nh[nhOff[src*n+dst] :
 	// nhOff[src*n+dst+1]] lists the neighbors of src one hop closer to
 	// dst, in ascending adjacency order. Precomputed at build time so
 	// AppendPath samples a next hop in O(candidates) instead of scanning
@@ -76,8 +76,8 @@ type TableMode int
 const (
 	// SinglePath deterministically uses one minimal path per pair.
 	SinglePath TableMode = iota
-	// MultiPath samples uniformly among minimal next hops per step.
-	MultiPath
+	// AllMinPaths samples uniformly among minimal next hops per step.
+	AllMinPaths
 )
 
 // NewTable builds the all-pairs table for g. Graphs are limited to 65534
@@ -107,7 +107,7 @@ func NewTableInto(g *graph.Graph, mode TableMode, slab []uint8) *Table {
 			}
 		}
 	})
-	if mode == MultiPath {
+	if mode == AllMinPaths {
 		t.buildNextHops()
 	}
 	return t
@@ -201,7 +201,7 @@ func (t *Table) AppendPath(buf []int, src, dst int, rng *rand.Rand) []int {
 	}
 	buf = append(buf, src)
 	cur := src
-	if t.mode == MultiPath {
+	if t.mode == AllMinPaths {
 		// O(candidates) per hop off the precomputed CSR. The reservoir
 		// draw sequence — rng.Intn(k) per candidate in ascending
 		// adjacency order — matches the neighbor-scan implementation

@@ -23,13 +23,13 @@ func BenchmarkTableBuildPSIQ(b *testing.B) {
 	ps := topo.MustNewPolarStar(11, 3, topo.KindIQ)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		NewTable(ps.G, MultiPath)
+		NewTable(ps.G, AllMinPaths)
 	}
 }
 
 func BenchmarkTableRoutePSIQ(b *testing.B) {
 	ps := topo.MustNewPolarStar(11, 3, topo.KindIQ)
-	t := NewTable(ps.G, MultiPath)
+	t := NewTable(ps.G, AllMinPaths)
 	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -11,7 +11,7 @@ import (
 func TestTableRouting(t *testing.T) {
 	ps := topo.MustNewPolarStar(3, 3, topo.KindIQ)
 	g := ps.G
-	tab := NewTable(g, MultiPath)
+	tab := NewTable(g, AllMinPaths)
 	rng := rand.New(rand.NewSource(1))
 	for src := 0; src < g.N(); src += 7 {
 		for dst := 0; dst < g.N(); dst += 5 {
@@ -35,7 +35,7 @@ func TestTableRouting(t *testing.T) {
 	}
 }
 
-// referenceNextHopPath replicates the pre-CSR MultiPath AppendPath: a
+// referenceNextHopPath replicates the pre-CSR AllMinPaths AppendPath: a
 // reservoir scan over all neighbors with a distance lookup per step. The
 // CSR implementation must consume the RNG identically and produce
 // byte-identical paths.
@@ -74,7 +74,7 @@ func TestTableMultiPathCSRMatchesScan(t *testing.T) {
 		topo.MustNewDragonfly(4, 2).G,
 		topo.MustNewLPS(13, 5).G,
 	} {
-		tab := NewTable(g, MultiPath)
+		tab := NewTable(g, AllMinPaths)
 		rngA := rand.New(rand.NewSource(42))
 		rngB := rand.New(rand.NewSource(42))
 		var bufA, bufB []int

@@ -1,6 +1,8 @@
 package route
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 
 	"polarstar/internal/graph"
@@ -10,10 +12,22 @@ import (
 // (Dawkins et al., "Edge-Disjoint Spanning Trees on Star-Product
 // Networks", cited in §6.1.1) uses EDSTs for in-network collectives:
 // k disjoint trees carry k parallel reduction flows, multiplying
-// collective bandwidth. This implementation extracts trees greedily —
-// each tree is a randomized BFS spanning tree over the edges not used by
-// earlier trees — which does not always reach the Nash–Williams optimum
-// but is simple, fast and deterministic per seed.
+// collective bandwidth. Two greedy extractors are provided — a
+// randomized-Kruskal one that spreads degree usage (the escape-router
+// construction) and a BFS one that keeps trees shallow (the multipath
+// lane construction) — neither always reaches the Nash–Williams optimum
+// but both are simple, fast and deterministic per seed.
+
+// Typed extraction errors, checkable with errors.Is.
+var (
+	// ErrTreeCount rejects a non-positive maxTrees: the callers that used
+	// to pass 0 for "as many as possible" now pass an explicit bound
+	// (e.g. the graph's degree — no graph yields more EDSTs than that).
+	ErrTreeCount = errors.New("route: maxTrees must be positive")
+	// ErrDisconnected means the graph has no spanning tree at all (empty
+	// or disconnected), so no EDST extraction is possible.
+	ErrDisconnected = errors.New("route: graph has no spanning tree")
+)
 
 // SpanningTree is a rooted tree over the full vertex set: Parent[v] is
 // v's parent router (-1 at the root).
@@ -56,13 +70,45 @@ func (t *SpanningTree) Depth() int {
 	return max
 }
 
+// Edges returns the undirected tree edges (parent, child) in child order.
+func (t *SpanningTree) Edges() [][2]int {
+	out := make([][2]int, 0, len(t.Parent)-1)
+	for v, p := range t.Parent {
+		if p >= 0 {
+			out = append(out, [2]int{int(p), v})
+		}
+	}
+	return out
+}
+
+// checkExtractable validates the shared preconditions of both
+// extractors: a positive tree bound and a root inside a non-empty graph.
+func checkExtractable(g *graph.Graph, root, maxTrees int) error {
+	if maxTrees <= 0 {
+		return fmt.Errorf("%w, got %d", ErrTreeCount, maxTrees)
+	}
+	if g.N() == 0 {
+		return fmt.Errorf("%w (empty graph)", ErrDisconnected)
+	}
+	if root < 0 || root >= g.N() {
+		return fmt.Errorf("route: root %d outside graph with %d vertices", root, g.N())
+	}
+	return nil
+}
+
 // EdgeDisjointSpanningTrees extracts up to maxTrees pairwise
-// edge-disjoint spanning trees rooted at root (maxTrees <= 0 extracts as
-// many as the greedy process finds). Each tree is a randomized-Kruskal
-// spanning tree over the edges unused by earlier trees — the random edge
-// order spreads degree usage, so a high-degree vertex does not donate all
-// its edges to the first tree. Deterministic for a given seed.
-func EdgeDisjointSpanningTrees(g *graph.Graph, root, maxTrees int, seed int64) []*SpanningTree {
+// edge-disjoint spanning trees rooted at root. Each tree is a
+// randomized-Kruskal spanning tree over the edges unused by earlier
+// trees — the random edge order spreads degree usage, so a high-degree
+// vertex does not donate all its edges to the first tree. Deterministic
+// for a given seed. maxTrees <= 0 is ErrTreeCount; a graph with no
+// spanning tree at all (empty or disconnected) is ErrDisconnected.
+// Fewer than maxTrees trees (but at least one) is not an error: the
+// greedy process simply ran out of spanning edge sets.
+func EdgeDisjointSpanningTrees(g *graph.Graph, root, maxTrees int, seed int64) ([]*SpanningTree, error) {
+	if err := checkExtractable(g, root, maxTrees); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(seed))
 	n := g.N()
 	remaining := g.Edges()
@@ -76,7 +122,7 @@ func EdgeDisjointSpanningTrees(g *graph.Graph, root, maxTrees int, seed int64) [
 		}
 		return x
 	}
-	for maxTrees <= 0 || len(trees) < maxTrees {
+	for len(trees) < maxTrees {
 		rng.Shuffle(len(remaining), func(i, j int) { remaining[i], remaining[j] = remaining[j], remaining[i] })
 		for i := range uf {
 			uf[i] = int32(i)
@@ -121,5 +167,400 @@ func EdgeDisjointSpanningTrees(g *graph.Graph, root, maxTrees int, seed int64) [
 		}
 		trees = append(trees, &SpanningTree{Root: root, Parent: parent})
 	}
-	return trees
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("%w (%s: %d vertices, %d edges)", ErrDisconnected, g.Name(), n, g.M())
+	}
+	return trees, nil
+}
+
+// EdgeDisjointBFSTrees extracts up to maxTrees pairwise edge-disjoint
+// shallow spanning trees rooted at root. The k trees grow together,
+// round-robin, one parent adoption per tree per turn, each tree adopting
+// in FIFO (BFS) order over the shared pool of unclaimed edges — the
+// interleaving stops any single tree from monopolising a vertex's edges
+// (a plain sequential BFS spends every root edge on tree 1 and leaves
+// the root isolated in the residual graph). When growth stalls with a
+// few vertices cut off behind fully-claimed edges, a single-swap
+// augmentation frees a claimed cut edge by re-attaching its owner tree
+// through a different unclaimed edge (a one-step matroid-union exchange);
+// if not even that makes progress the whole attempt retries with k-1
+// trees, so every returned tree is a complete spanning tree. BFS order
+// keeps depths near the root's eccentricity — far shallower than Kruskal
+// trees on low-diameter networks — which is what makes the trees usable
+// as bounded-length routing lanes rather than only as escape paths.
+// Deterministic per seed. Error contract matches
+// EdgeDisjointSpanningTrees.
+func EdgeDisjointBFSTrees(g *graph.Graph, root, maxTrees int, seed int64) ([]*SpanningTree, error) {
+	if err := checkExtractable(g, root, maxTrees); err != nil {
+		return nil, err
+	}
+	n := g.N()
+	if n == 1 {
+		return []*SpanningTree{{Root: root, Parent: []int32{-1}}}, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Per-vertex shuffled neighbor visiting order, shared by every
+	// attempt (trees still differ: the claimed-edge pool shifts).
+	perm := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		perm[u] = make([]int32, len(g.Neighbors(u)))
+		for i := range perm[u] {
+			perm[u][i] = int32(i)
+		}
+		rng.Shuffle(len(perm[u]), func(i, j int) { perm[u][i], perm[u][j] = perm[u][j], perm[u][i] })
+	}
+	kMax := maxTrees
+	if d := len(g.Neighbors(root)); kMax > d {
+		kMax = d // each tree needs its own root edge
+	}
+	if nw := g.M() / (n - 1); kMax > nw {
+		kMax = nw // Nash–Williams edge-count ceiling
+	}
+	used := make([]bool, g.NumChannels())
+	for k := kMax; k >= 1; k-- {
+		for i := range used {
+			used[i] = false
+		}
+		st := &bfsTreesState{g: g, n: n, root: root, k: k, perm: perm, used: used}
+		st.init()
+		for {
+			st.grow()
+			if st.complete() {
+				trees := make([]*SpanningTree, k)
+				for t := 0; t < k; t++ {
+					trees[t] = recenter(st.parent[t])
+				}
+				return trees, nil
+			}
+			if !st.repairOnce() {
+				break // no exchange helps: retry with one tree fewer
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w (%s: %d vertices, %d edges)", ErrDisconnected, g.Name(), n, g.M())
+}
+
+// bfsTreesState is one attempt (fixed tree count k) of the interleaved
+// extraction behind EdgeDisjointBFSTrees.
+type bfsTreesState struct {
+	g       *graph.Graph
+	n, root int
+	k       int
+	perm    [][]int32
+	used    []bool // channel id -> claimed as a tree edge (both directions)
+
+	parent  [][]int32
+	queues  [][]int32 // per tree: its vertices in adoption (BFS) order
+	heads   []int     // per tree: scan cursor into queues
+	reached []int
+	stuck   []bool
+}
+
+func (st *bfsTreesState) init() {
+	st.parent = make([][]int32, st.k)
+	st.queues = make([][]int32, st.k)
+	st.heads = make([]int, st.k)
+	st.reached = make([]int, st.k)
+	st.stuck = make([]bool, st.k)
+	for t := 0; t < st.k; t++ {
+		st.parent[t] = make([]int32, st.n)
+		for i := range st.parent[t] {
+			st.parent[t][i] = -2
+		}
+		st.parent[t][st.root] = -1
+		st.queues[t] = []int32{int32(st.root)}
+		st.reached[t] = 1
+	}
+}
+
+func (st *bfsTreesState) complete() bool {
+	for t := 0; t < st.k; t++ {
+		if st.reached[t] != st.n {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *bfsTreesState) claim(u, v int) {
+	st.used[st.g.ChannelID(u, v)] = true
+	st.used[st.g.ChannelID(v, u)] = true
+}
+
+func (st *bfsTreesState) unclaim(u, v int) {
+	st.used[st.g.ChannelID(u, v)] = false
+	st.used[st.g.ChannelID(v, u)] = false
+}
+
+// grow runs round-robin single-adoption turns to a fixpoint: every tree
+// is complete or stuck (no unclaimed edge crosses its cut).
+func (st *bfsTreesState) grow() {
+	g := st.g
+	for {
+		progressed := false
+		for t := 0; t < st.k; t++ {
+			if st.stuck[t] || st.reached[t] == st.n {
+				continue
+			}
+			adopted := false
+			for st.heads[t] < len(st.queues[t]) {
+				u := int(st.queues[t][st.heads[t]])
+				first := g.FirstChannel(u)
+				nbrs := g.Neighbors(u)
+				for _, kk := range st.perm[u] {
+					if st.used[first+int(kk)] {
+						continue
+					}
+					v := nbrs[kk]
+					if st.parent[t][v] != -2 {
+						continue
+					}
+					st.parent[t][v] = int32(u)
+					st.used[first+int(kk)] = true
+					st.used[g.ChannelID(int(v), u)] = true
+					st.queues[t] = append(st.queues[t], v)
+					st.reached[t]++
+					adopted = true
+					break
+				}
+				if adopted {
+					break
+				}
+				st.heads[t]++ // u exhausted; only repairOnce can re-open it
+			}
+			if adopted {
+				progressed = true
+			} else {
+				st.stuck[t] = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// repairOnce performs one exchange: a stuck tree t wants the claimed cut
+// edge (u,v) (u in t, v not); its owner t2 holds it as a tree edge whose
+// removal splits off subtree B. If some unclaimed edge (a,b) re-attaches
+// B (a in B, b in the rest of t2), t2 is rewired over (a,b), (u,v) is
+// freed and t adopts v through it. Returns whether any exchange was
+// made; on success the stuck flags and scan cursors reset so growth can
+// resume (an edge was unclaimed, adoptable sets grew back).
+func (st *bfsTreesState) repairOnce() bool {
+	for t := 0; t < st.k; t++ {
+		if st.stuck[t] && st.reached[t] < st.n && st.tryExchange(t) {
+			for i := range st.stuck {
+				st.stuck[i] = false
+				st.heads[i] = 0
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (st *bfsTreesState) tryExchange(t int) bool {
+	g := st.g
+	for v := 0; v < st.n; v++ {
+		if st.parent[t][v] != -2 {
+			continue
+		}
+		for _, kk := range st.perm[v] {
+			u := int(g.Neighbors(v)[kk])
+			if st.parent[t][u] == -2 {
+				continue // not a cut edge of t
+			}
+			// (u,v) crosses t's cut and is necessarily claimed (grow ran
+			// to fixpoint); find its owner t2 != t.
+			t2 := -1
+			for c := 0; c < st.k; c++ {
+				if st.parent[c][v] == int32(u) || st.parent[c][u] == int32(v) {
+					t2 = c
+					break
+				}
+			}
+			if t2 < 0 {
+				continue
+			}
+			child := v
+			if st.parent[t2][u] == int32(v) {
+				child = u
+			}
+			if st.reattach(t2, child, u, v) {
+				st.parent[t][v] = int32(u)
+				st.claim(u, v)
+				st.queues[t] = append(st.queues[t], int32(v))
+				st.reached[t]++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reattach detaches subtree B rooted at child from tree t2 (cutting the
+// edge child—parent[child], which is exU—exV) and re-attaches it through
+// an unclaimed edge into the rest of t2, re-rooting B at the new
+// attachment point. Among all candidate edges (a in B, b in the rest of
+// t2) it picks the one minimising the re-attached subtree's deepest
+// vertex (depth(b) + 1 + ecc_B(a)) — unguided repairs chain subtrees
+// into deep paths that are useless as bounded-length lanes. Returns
+// false, leaving t2 untouched, if no candidate edge exists.
+func (st *bfsTreesState) reattach(t2, child, exU, exV int) bool {
+	g := st.g
+	inB := make([]bool, st.n)
+	order := []int32{int32(child)}
+	inB[child] = true
+	kids := make([][]int32, st.n)
+	root2 := -1
+	for v := 0; v < st.n; v++ {
+		p := st.parent[t2][v]
+		if p >= 0 {
+			kids[p] = append(kids[p], int32(v))
+		} else if p == -1 {
+			root2 = v
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		for _, c := range kids[order[head]] {
+			inB[c] = true
+			order = append(order, c)
+		}
+	}
+	// Depths of the surviving part of t2 (B's depths are about to change).
+	depth2 := make([]int32, st.n)
+	if root2 >= 0 {
+		q := []int32{int32(root2)}
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			for _, c := range kids[u] {
+				depth2[c] = depth2[u] + 1
+				q = append(q, c)
+			}
+		}
+	}
+	// Tree adjacency inside B, for per-candidate eccentricity.
+	adjB := make([][]int32, st.n)
+	for _, x := range order {
+		if int(x) == child {
+			continue
+		}
+		p := st.parent[t2][x]
+		adjB[x] = append(adjB[x], p)
+		adjB[p] = append(adjB[p], x)
+	}
+	eccB := func(a int32) int {
+		dist := make([]int32, st.n)
+		for _, x := range order {
+			dist[x] = -1
+		}
+		dist[a] = 0
+		q := []int32{a}
+		far := 0
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			for _, w := range adjB[u] {
+				if dist[w] < 0 {
+					dist[w] = dist[u] + 1
+					if int(dist[w]) > far {
+						far = int(dist[w])
+					}
+					q = append(q, w)
+				}
+			}
+		}
+		return far
+	}
+	bestA, bestB, bestScore := -1, -1, 0
+	eccCache := make(map[int32]int, len(order))
+	for _, a32 := range order {
+		a := int(a32)
+		first := g.FirstChannel(a)
+		nbrs := g.Neighbors(a)
+		for _, kk := range st.perm[a] {
+			if st.used[first+int(kk)] {
+				continue
+			}
+			b := int(nbrs[kk])
+			if inB[b] || st.parent[t2][b] == -2 {
+				continue
+			}
+			ecc, ok := eccCache[a32]
+			if !ok {
+				ecc = eccB(a32)
+				eccCache[a32] = ecc
+			}
+			score := int(depth2[b]) + 1 + ecc
+			if bestA < 0 || score < bestScore {
+				bestA, bestB, bestScore = a, b, score
+			}
+		}
+	}
+	if bestA < 0 {
+		return false
+	}
+	// Re-root B at bestA: reverse the parent chain bestA → child.
+	prev, cur := int32(bestB), int32(bestA)
+	for {
+		next := st.parent[t2][cur]
+		st.parent[t2][cur] = prev
+		if int(cur) == child {
+			break
+		}
+		prev, cur = cur, next
+	}
+	st.claim(bestA, bestB)
+	st.unclaim(exU, exV)
+	return true
+}
+
+// recenter re-roots a spanning tree (given as a parent array it takes
+// ownership of) at its centre, minimising depth: repair exchanges drag
+// the extraction root off-centre, and lane usefulness is bounded by
+// depth. Double BFS finds a diameter path; the midpoint is the centre.
+func recenter(parent []int32) *SpanningTree {
+	n := len(parent)
+	adj := make([][]int32, n)
+	oldRoot := 0
+	for v, p := range parent {
+		if p >= 0 {
+			adj[p] = append(adj[p], int32(v))
+			adj[v] = append(adj[v], p)
+		} else if p == -1 {
+			oldRoot = v
+		}
+	}
+	bfs := func(src int32) (dist, par []int32, far int32) {
+		dist = make([]int32, n)
+		par = make([]int32, n)
+		for i := range dist {
+			dist[i], par[i] = -1, -2
+		}
+		dist[src], par[src] = 0, -1
+		q := []int32{src}
+		far = src
+		for head := 0; head < len(q); head++ {
+			u := q[head]
+			for _, w := range adj[u] {
+				if dist[w] < 0 {
+					dist[w] = dist[u] + 1
+					par[w] = u
+					if dist[w] > dist[far] {
+						far = w
+					}
+					q = append(q, w)
+				}
+			}
+		}
+		return dist, par, far
+	}
+	_, _, x := bfs(int32(oldRoot))
+	distX, parX, y := bfs(x)
+	c := y
+	for i := distX[y] / 2; i > 0; i-- {
+		c = parX[c]
+	}
+	_, parC, _ := bfs(c)
+	return &SpanningTree{Root: int(c), Parent: parC}
 }

@@ -18,7 +18,7 @@ func (t *Table) StateBytes() int64 {
 // MemBytes reports the actual heap footprint of the table's routing
 // arrays — the number a serving layer charges against its resident-spec
 // budget. Unlike StateBytes (the paper's storage model) this counts what
-// the process really holds: the distance matrix plus, in MultiPath mode,
+// the process really holds: the distance matrix plus, in AllMinPaths mode,
 // the next-hop CSR.
 func (t *Table) MemBytes() int64 {
 	return int64(len(t.dist)) + 4*int64(len(t.nhOff)) + 4*int64(len(t.nh))

@@ -9,7 +9,7 @@ import (
 func TestStorageComparison(t *testing.T) {
 	ps := topo.MustNewPolarStar(5, 4, topo.KindIQ) // 310 routers
 	r := NewPolarStar(ps)
-	tab := NewTable(ps.G, MultiPath)
+	tab := NewTable(ps.G, AllMinPaths)
 	cmp := CompareState(r, tab)
 	if cmp.Routers != 310 {
 		t.Fatalf("routers = %d", cmp.Routers)
@@ -42,13 +42,13 @@ func TestNextHopEntriesOnCycle(t *testing.T) {
 	// C_5: every pair has a unique minimal next hop except... on an odd
 	// cycle all shortest paths are unique: entries = n(n-1).
 	b := newCycleBuilder(5)
-	tab := NewTable(b, MultiPath)
+	tab := NewTable(b, AllMinPaths)
 	if got := tab.NextHopEntries(); got != 20 {
 		t.Errorf("C5 next-hop entries = %d, want 20", got)
 	}
 	// C_4: opposite vertices have two minimal next hops: per router 1+2+1.
 	b4 := newCycleBuilder(4)
-	tab4 := NewTable(b4, MultiPath)
+	tab4 := NewTable(b4, AllMinPaths)
 	if got := tab4.NextHopEntries(); got != 16 {
 		t.Errorf("C4 next-hop entries = %d, want 16", got)
 	}

@@ -51,13 +51,14 @@ const (
 	maxPlanEvents = 1 << 14 // parsed fault events
 	maxEvalCycles = 1 << 20 // requested measurement window
 	maxRunWorkers = 64      // per-run engine goroutines
+	maxEvalLanes  = 8       // requested multipath tree lanes
 )
 
 // EvalRequest is the POST /v1/eval body. Zero-valued optional fields
 // take the documented defaults in Normalize.
 type EvalRequest struct {
 	Spec    string  `json:"spec"`              // required: a sim.SpecNames() entry
-	Routing string  `json:"routing,omitempty"` // "min" (default), "ugal", "ugal-g"
+	Routing string  `json:"routing,omitempty"` // "min" (default), "ugal", "ugal-g", "mp-min", "mp-ugal"
 	Pattern string  `json:"pattern,omitempty"` // traffic pattern (default "uniform")
 	Load    float64 `json:"load,omitempty"`    // offered load in (0,1] (default 0.2)
 	Cycles  int     `json:"cycles,omitempty"`  // measurement window; 0 = paper defaults
@@ -69,6 +70,15 @@ type EvalRequest struct {
 	// FaultPlan is scripted fault-plan text (sim.ParsePlan format),
 	// hashed into the cache key.
 	FaultPlan string `json:"fault_plan,omitempty"`
+	// Lanes is the spanning-tree lane count of the multipath routings
+	// ("mp-min"/"mp-ugal"): 0 selects the engine default. Rejected on
+	// single-table routings, where it is a no-op — silently accepting
+	// it would mint distinct cache keys for bit-identical runs.
+	Lanes int `json:"lanes,omitempty"`
+	// RepairDelay is the table-reconvergence stall in cycles charged
+	// after every applied fault event (sim.Params.RepairDelay). Needs a
+	// fault plan for the same no-op-field reason as Lanes.
+	RepairDelay int64 `json:"repair_delay,omitempty"`
 	// Async makes POST /v1/eval return 202 with a run id immediately;
 	// poll GET /v1/runs/{id} for the artifact.
 	Async bool `json:"async,omitempty"`
@@ -104,10 +114,25 @@ func (req *EvalRequest) Normalize() error {
 	if req.Routing == "" {
 		req.Routing = "min"
 	}
+	multipath := false
 	switch req.Routing {
 	case "min", "ugal", "ugal-g":
+	case "mp-min", "mp-ugal":
+		multipath = true
 	default:
-		return fmt.Errorf("serve: unknown routing %q (want min, ugal or ugal-g)", req.Routing)
+		return fmt.Errorf("serve: unknown routing %q (want min, ugal, ugal-g, mp-min or mp-ugal)", req.Routing)
+	}
+	if req.Lanes < 0 || req.Lanes > maxEvalLanes {
+		return fmt.Errorf("serve: lanes must be in [0, %d], got %d", maxEvalLanes, req.Lanes)
+	}
+	if req.Lanes != 0 && !multipath {
+		return fmt.Errorf("serve: lanes requires multipath routing, got %q", req.Routing)
+	}
+	if req.RepairDelay < 0 {
+		return fmt.Errorf("serve: repair_delay must be >= 0, got %d", req.RepairDelay)
+	}
+	if req.RepairDelay > 0 && req.FaultPlan == "" {
+		return errors.New("serve: repair_delay without a fault plan is a no-op")
 	}
 	if req.Pattern == "" {
 		req.Pattern = "uniform"
@@ -154,13 +179,14 @@ func (req *EvalRequest) plan() (*sim.Plan, error) {
 
 // Key is the content address of a normalized request: FNV-1a 64
 // (%016x) over the canonical tuple (spec, routing, pattern, load,
-// cycles, seed, plan hash). Workers and Async are deliberately
-// excluded — neither changes a single Result bit, so requests differing
-// only there share one artifact. The key doubles as the async run id.
+// cycles, seed, plan hash, lanes, repair delay). Workers and Async are
+// deliberately excluded — neither changes a single Result bit, so
+// requests differing only there share one artifact. The key doubles as
+// the async run id.
 func (req *EvalRequest) Key(plan *sim.Plan) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "spec=%s routing=%s pattern=%s load=%.17g cycles=%d seed=%d plan=%016x",
-		req.Spec, req.Routing, req.Pattern, req.Load, req.Cycles, req.Seed, plan.Hash())
+	fmt.Fprintf(h, "spec=%s routing=%s pattern=%s load=%.17g cycles=%d seed=%d plan=%016x lanes=%d rdelay=%d",
+		req.Spec, req.Routing, req.Pattern, req.Load, req.Cycles, req.Seed, plan.Hash(), req.Lanes, req.RepairDelay)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -171,6 +197,10 @@ func (req *EvalRequest) mode() sim.RoutingMode {
 		return sim.UGALMode
 	case "ugal-g":
 		return sim.UGALGMode
+	case "mp-min":
+		return sim.MPMINMode
+	case "mp-ugal":
+		return sim.MPUGALMode
 	}
 	return sim.MIN
 }
@@ -189,6 +219,8 @@ func (req *EvalRequest) params(defaultWorkers int) sim.Params {
 	if p.Workers == 0 {
 		p.Workers = defaultWorkers
 	}
+	p.Lanes = req.Lanes
+	p.RepairDelay = req.RepairDelay
 	return p
 }
 
@@ -418,8 +450,9 @@ func (s *Service) manifest(j *job, bs *BuiltSpec) obs.Manifest {
 	m.Seed = j.req.Seed
 	if !j.plan.Empty() {
 		m.FaultPlan = &obs.FaultPlan{
-			Hash:   fmt.Sprintf("%016x", j.plan.Hash()),
-			Events: len(j.plan.Events),
+			Hash:        fmt.Sprintf("%016x", j.plan.Hash()),
+			Events:      len(j.plan.Events),
+			RepairDelay: j.req.RepairDelay,
 		}
 		rp := sim.DefaultRetryPolicy()
 		m.FaultPlan.MaxRetries = rp.MaxRetries

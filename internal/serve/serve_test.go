@@ -283,6 +283,11 @@ func TestServeMalformedInputs(t *testing.T) {
 		{"oversized plan", fmt.Sprintf(`{"spec":"ps-iq-small","fault_plan":%q}`, hugePlan), http.StatusBadRequest},
 		{"malformed plan", `{"spec":"ps-iq-small","fault_plan":"1 link-frob 0 1"}`, http.StatusBadRequest},
 		{"plan on non-edge", fmt.Sprintf(`{"spec":"ps-iq-small","cycles":200,"fault_plan":"5 link-down 0 %d"}`, nonNbr), http.StatusBadRequest},
+		{"lanes over cap", `{"spec":"ps-iq-small","routing":"mp-min","lanes":99}`, http.StatusBadRequest},
+		{"negative lanes", `{"spec":"ps-iq-small","routing":"mp-min","lanes":-1}`, http.StatusBadRequest},
+		{"lanes without multipath", `{"spec":"ps-iq-small","lanes":2}`, http.StatusBadRequest},
+		{"negative repair delay", `{"spec":"ps-iq-small","fault_plan":"5 link-down 0 1","repair_delay":-1}`, http.StatusBadRequest},
+		{"repair delay without plan", `{"spec":"ps-iq-small","repair_delay":50}`, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		code, _, body := postEval(t, ts.URL, tc.body)
@@ -343,6 +348,92 @@ func TestServeFaultPlanRoundTrip(t *testing.T) {
 	code, _, healthy := postEval(t, ts.URL, evalBody)
 	if code != http.StatusOK || bytes.Equal(cold, healthy) {
 		t.Fatal("plan hash not part of the cache key")
+	}
+}
+
+// TestEvalRequestKeyMultipathFields pins the cache-key contract for the
+// degraded-topology fields: fault plan, lanes and repair delay each
+// mint a distinct content address (no faulted/clean collision), while
+// Workers and Async stay excluded.
+func TestEvalRequestKeyMultipathFields(t *testing.T) {
+	key := func(req EvalRequest) string {
+		t.Helper()
+		if err := req.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		plan, err := req.plan()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return req.Key(plan)
+	}
+	base := EvalRequest{Spec: "ps-iq-small", Routing: "mp-min",
+		FaultPlan: "5 link-down 0 1", Lanes: 2, RepairDelay: 40}
+	k := key(base)
+
+	distinct := map[string]func(r *EvalRequest){
+		"clean plan":    func(r *EvalRequest) { r.FaultPlan = ""; r.RepairDelay = 0 },
+		"other plan":    func(r *EvalRequest) { r.FaultPlan = "7 link-down 0 1" },
+		"other lanes":   func(r *EvalRequest) { r.Lanes = 3 },
+		"other delay":   func(r *EvalRequest) { r.RepairDelay = 41 },
+		"other routing": func(r *EvalRequest) { r.Routing = "mp-ugal" },
+	}
+	for name, mutate := range distinct {
+		req := base
+		mutate(&req)
+		if key(req) == k {
+			t.Errorf("%s: request collides with the base key %s", name, k)
+		}
+	}
+	shared := map[string]func(r *EvalRequest){
+		"workers": func(r *EvalRequest) { r.Workers = 7 },
+		"async":   func(r *EvalRequest) { r.Async = true },
+	}
+	for name, mutate := range shared {
+		req := base
+		mutate(&req)
+		if key(req) != k {
+			t.Errorf("%s: result-preserving field leaked into the key", name)
+		}
+	}
+}
+
+// TestServeMultipathRoundTrip runs a degraded mp-ugal request end to
+// end: the artifact must record the multipath routing and the repair
+// stall, and the warm replay must stay byte-identical.
+func TestServeMultipathRoundTrip(t *testing.T) {
+	spec, err := sim.NewSpec("ps-iq-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := spec.Graph.Neighbors(0)[0]
+
+	svc := New(testConfig())
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"spec":"ps-iq-small","routing":"mp-ugal","cycles":200,"seed":3,"fault_plan":"120 link-down 0 %d","repair_delay":60}`, v)
+	code, _, cold := postEval(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("multipath eval = %d %s", code, cold)
+	}
+	var resp EvalResponse
+	if err := json.Unmarshal(cold, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Manifest.Routing != "mp-ugal" {
+		t.Errorf("manifest routing %q, want mp-ugal", resp.Manifest.Routing)
+	}
+	if resp.Manifest.FaultPlan == nil || resp.Manifest.FaultPlan.RepairDelay != 60 {
+		t.Errorf("manifest missing repair delay: %+v", resp.Manifest.FaultPlan)
+	}
+	if resp.Result.DeliveredFrac <= 0 {
+		t.Errorf("degraded multipath run delivered nothing: %+v", resp.Result)
+	}
+	code, hdr, warm := postEval(t, ts.URL, body)
+	if code != http.StatusOK || hdr.Get("X-Cache") != "hit" || !bytes.Equal(cold, warm) {
+		t.Fatalf("multipath replay broken: code %d X-Cache %q equal %v", code, hdr.Get("X-Cache"), bytes.Equal(cold, warm))
 	}
 }
 

@@ -26,6 +26,8 @@ package sim
 //     nothing can move anymore.
 
 import (
+	"math/rand"
+
 	"polarstar/internal/route"
 )
 
@@ -67,6 +69,15 @@ type faultState struct {
 	base   *route.Table      // primary table of the routing engine (nil: analytic)
 	repair *route.Table      // lazily cloned copy of base, patched as links die
 	escape *route.TreeEscape // spanning-tree escape paths (always available)
+	health *laneHealth       // per-lane demotion state (multipath routing only)
+
+	// repairReadyAt models route recomputation as a convergence window:
+	// every applied plan event pushes it Params.RepairDelay cycles into
+	// the future, and until it passes the repair table is not consulted —
+	// the "global repair stall" a single-table engine pays on every
+	// topology change, and exactly what multipath lane failover avoids.
+	// Zero RepairDelay (the default) keeps repair instantaneous.
+	repairReadyAt int64
 
 	retryHeap []retryEvent
 	seq       int64
@@ -93,7 +104,7 @@ type faultState struct {
 func (e *Engine) initFaults(params Params) {
 	fs := &faultState{
 		e:          e,
-		plan:       params.Plan,
+		plan:       sortedPlan(params.Plan),
 		policy:     params.Retry.normalized(),
 		deadChan:   make([]bool, e.g.NumChannels()),
 		deadRouter: make([]bool, e.g.N()),
@@ -101,7 +112,14 @@ func (e *Engine) initFaults(params Params) {
 		retryCtr:   -1,
 	}
 	fs.base = baseTable(e.routing)
-	fs.escape = route.NewTreeEscape(e.g, escapeTrees, params.Seed)
+	esc, err := route.NewTreeEscape(e.g, escapeTrees, params.Seed)
+	if err != nil {
+		esc = &route.TreeEscape{} // no spanning trees: escape always fails over
+	}
+	fs.escape = esc
+	if mp, ok := e.routing.(*MultiPathRouting); ok {
+		fs.health = newLaneHealth(mp.MP, e)
+	}
 	e.fs = fs
 	for _, sh := range e.shards {
 		switch r := sh.routing.(type) {
@@ -110,8 +128,43 @@ func (e *Engine) initFaults(params Params) {
 			sh.routing = r
 		case *UGAL:
 			r.Live = fs.linkLive
+		case *MultiPathRouting:
+			r.setLive(fs.linkLive, fs.health, fs.repairAppend, fs.escapeAppend)
 		}
 	}
+}
+
+// escapeAppend appends the shortest fully-live escape-tree path for
+// (src, dst); the multipath spray's survival-mode candidate source.
+func (fs *faultState) escapeAppend(buf []int, src, dst int) []int {
+	return fs.escape.AppendPath(buf, src, dst, fs.linkLive)
+}
+
+// repairAppend appends the repaired-table minimal path for (src, dst),
+// or returns buf unchanged while no damage has built a repair table yet.
+// The table pointer is written only in the serial fault sections, so the
+// parallel routing phases read it race-free.
+func (fs *faultState) repairAppend(buf []int, src, dst int, rng *rand.Rand) []int {
+	if !fs.repairUsable() {
+		return buf
+	}
+	return fs.repair.AppendPath(buf, src, dst, rng)
+}
+
+// sortedPlan returns p with its events in cycle order: applyFaults and
+// the event-horizon advance walk the list front to back and stop at the
+// first not-yet-due event, so an out-of-order plan (hand-built; the
+// generators normalize theirs) would silently defer events. Sorting
+// into a private copy keeps the caller's Plan untouched.
+func sortedPlan(p *Plan) *Plan {
+	for i := 1; i < len(p.Events); i++ {
+		if p.Events[i].Cycle < p.Events[i-1].Cycle {
+			c := &Plan{Events: append([]FaultEvent(nil), p.Events...)}
+			c.normalize()
+			return c
+		}
+	}
+	return p
 }
 
 // baseTable extracts the all-pairs table underlying a routing engine, if
@@ -127,6 +180,8 @@ func baseTable(r Routing) *route.Table {
 		if t, ok := r.Min.(*route.Table); ok {
 			return t
 		}
+	case *MultiPathRouting:
+		return baseTable(r.Base)
 	}
 	return nil
 }
@@ -160,6 +215,7 @@ func (fs *faultState) pathLiveChans(path []int) bool {
 func (e *Engine) applyFaults(t int64) {
 	fs := e.fs
 	killed := false
+	first := fs.next
 	for fs.next < len(fs.plan.Events) && fs.plan.Events[fs.next].Cycle <= t {
 		ev := fs.plan.Events[fs.next]
 		fs.next++
@@ -175,9 +231,24 @@ func (e *Engine) applyFaults(t int64) {
 			fs.applyRouterUp(ev.U)
 		}
 	}
+	if fs.next > first && e.p.RepairDelay > 0 {
+		fs.repairReadyAt = t + e.p.RepairDelay
+	}
+	if fs.health != nil {
+		if fs.next > first {
+			fs.health.rescan(t, fs.deadChan)
+		}
+		fs.health.promote(t)
+	}
 	if killed {
 		fs.dropInFlight(t)
 	}
+}
+
+// repairUsable reports whether the repair table exists and has converged
+// (the RepairDelay window after the last topology change has passed).
+func (fs *faultState) repairUsable() bool {
+	return fs.repair != nil && fs.e.now >= fs.repairReadyAt
 }
 
 func edgeKey(u, v int) [2]int {
@@ -196,11 +267,21 @@ func (fs *faultState) killEdge(u, v int) bool {
 	}
 	fs.deadChan[cu] = true
 	fs.deadChan[fs.e.channelID(v, u)] = true
-	if fs.base != nil {
-		if fs.repair == nil {
-			fs.repair = fs.base.Clone()
-		}
+	switch {
+	case fs.repair != nil:
 		fs.repair.DropEdge(u, v)
+	case fs.base != nil:
+		fs.repair = fs.base.Clone()
+		fs.repair.DropEdge(u, v)
+	default:
+		// Analytic primary (no table to clone): derive the repair table
+		// from the wiring itself on first damage. The degraded graph is
+		// the ground truth either way, and an all-min-paths table over it
+		// guarantees every still-connected pair keeps a live minimal
+		// route — without it, analytic specs black-hole any pair whose
+		// canonical path, escape trees, and (multipath) surviving lanes
+		// are all cut or out of hop range.
+		fs.repair = route.NewTable(fs.e.g.RemoveEdges([][2]int{{u, v}}), route.AllMinPaths)
 	}
 	return true
 }
@@ -309,7 +390,7 @@ func (fs *faultState) detour(sh *shardState, src, dst int, path []int) ([]int, b
 	if n := len(path); n > 0 && n <= MaxPathNodes && fs.pathLiveChans(path) {
 		return path, true
 	}
-	if fs.repair != nil {
+	if fs.repairUsable() {
 		sh.escBuf = fs.repair.AppendPath(sh.escBuf[:0], src, dst, sh.rng)
 		if n := len(sh.escBuf); n > 0 && n <= MaxPathNodes {
 			return sh.escBuf, true
@@ -320,6 +401,57 @@ func (fs *faultState) detour(sh *shardState, src, dst int, path []int) ([]int, b
 		return sh.escBuf, true
 	}
 	return nil, false
+}
+
+// laneFailover re-routes a queued multipath packet whose next channel
+// died onto a live tree lane with a strictly higher index, in place: the
+// packet keeps its buffer and credit, only the remaining route (and lane
+// tag) changes. Higher-only is the deadlock-freedom condition — the new
+// lane's VC band sits strictly above every VC the packet can currently
+// occupy, so VC indices still strictly increase along the spliced path.
+// Runs inside arbitration: it writes only packet fields owned by the
+// arbitrating router's queue head and reads lane health and liveness
+// written in the serial sections, so it is race-free and worker-count
+// independent. Reports false when no higher live lane reaches the
+// destination; the caller falls back to drop + source retry.
+func (fs *faultState) laneFailover(sh *shardState, id int32, unit int32) bool {
+	if fs.health == nil {
+		return false
+	}
+	e := fs.e
+	st := &e.pkts
+	hop := int(st.hop[id])
+	var cur int
+	if hop == 0 {
+		cur = e.cfg.RouterOf(int(st.srcEP[id]))
+	} else {
+		cur = e.g.ChannelTo(int(st.chans[int(id)*pktStride+hop-1]))
+	}
+	dst := e.cfg.RouterOf(int(st.dstEP[id]))
+	mp := fs.health.mp
+	for l2 := int(st.lane[id]) + 1; l2 <= mp.TreeLanes(); l2++ {
+		if !fs.health.up[l2-1] {
+			continue
+		}
+		sh.escBuf = mp.AppendTreePath(sh.escBuf[:0], l2-1, cur, dst, fs.linkLive)
+		path := sh.escBuf
+		if len(path) == 0 || len(path)-1 > pktStride {
+			continue // lane's tree path is out of bound or crosses a failure
+		}
+		base := int(id) * pktStride
+		for i := 0; i+1 < len(path); i++ {
+			st.chans[base+i] = int32(e.channelID(path[i], path[i+1]))
+		}
+		st.nHops[id] = int8(len(path) - 1)
+		st.hop[id] = 0
+		st.lane[id] = int8(l2)
+		if sh.met != nil && sh.met.laneFailover != nil {
+			sh.met.laneFailover[l2]++
+		}
+		e.wake[unit] = e.now + 1
+		return true
+	}
+	return false
 }
 
 // retryFrom journals a source retry for a packet dropped during

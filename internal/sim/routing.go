@@ -167,3 +167,184 @@ func (u *UGAL) Clone() Routing {
 	c.bufA, c.bufB = nil, nil
 	return &c
 }
+
+// lanedRouting is the optional Routing extension for engines that spread
+// packets over multiple virtual-channel lanes. The engine maps each lane
+// to its own disjoint VC band (NewEngine sizes the ladder from
+// LaneWidths), and routeShard records the chosen lane on the packet so
+// arbitration clamps VC allocation to the lane's band.
+type lanedRouting interface {
+	Routing
+	// LaneWidths returns the VC band width of every lane: entry 0 is the
+	// minimal-path lane, entries 1.. the tree lanes. Width l must exceed
+	// the hop count of any lane-l path PathLane returns.
+	LaneWidths() []int
+	// PathLane is Path plus the index of the lane the path rides.
+	PathLane(buf []int, src, dst int, occ OccFn, rng *rand.Rand) ([]int, int8)
+}
+
+// MultiPathRouting sprays packets across a minimal-path lane and k
+// edge-disjoint spanning-tree lanes (route.MultiPath), choosing per
+// packet with UGAL-style occupancy scoring: each live lane's candidate
+// path is scored (first-hop queue + one packet) × hops and the cheapest
+// lane wins, ties toward the lowest lane. Each tree's paths stay inside
+// that tree and each lane gets a private VC band, so the composite
+// stays deadlock-free (DESIGN.md §13). Under a fault plan the engine
+// installs Live and health: demoted lanes drop out of the spray
+// deterministically, and with every tree lane down the choice degenerates
+// to the base engine alone — bit-identical to running it directly.
+//
+// A MultiPathRouting owns per-lane scratch, so it is a pointer type
+// serving one simulator goroutine; Clone gives workers their own.
+type MultiPathRouting struct {
+	Base    Routing          // minimal or UGAL engine: lane 0
+	MP      *route.MultiPath // tree lanes 1..k
+	PktSize int              // flits per packet, for the zero-queue tie-break
+	// Live, when set, filters tree-lane candidates to fully-live paths
+	// (the base lane handles liveness itself). Installed by the fault
+	// machinery; RNG consumption is identical with or without it.
+	Live LiveFn
+	// health, when non-nil, exposes the per-lane demotion state: down
+	// lanes are skipped before their paths are even built. Written only
+	// in the engine's serial sections, read here during routing.
+	health *laneHealth
+	// repairPath, when set, supplies the degraded-graph minimal path for
+	// the base lane when the primary engine's path is dead: the repaired
+	// route then competes against the tree lanes on occupancy score
+	// instead of the spray funneling every displaced packet onto the
+	// (much longer) surviving trees. Installed by the fault machinery;
+	// returns buf unchanged while no repair table exists.
+	repairPath func(buf []int, src, dst int, rng *rand.Rand) []int
+	// escapePath, when set, supplies the shortest live escape-tree path;
+	// it joins the survival-mode contest (base lane unroutable) so
+	// displaced traffic spreads over the escape trees and the surviving
+	// lanes by occupancy instead of funneling onto one tree. Escape
+	// paths ride the base lane's VC band, like detour paths.
+	escapePath func(buf []int, src, dst int) []int
+
+	bufA, bufB []int // winning / candidate scratch
+}
+
+// Path implements Routing via the base lane alone.
+func (m *MultiPathRouting) Path(buf []int, src, dst int, occ OccFn, rng *rand.Rand) []int {
+	return m.Base.Path(buf, src, dst, occ, rng)
+}
+
+// sprayStretch bounds how much longer than the base path a tree-lane
+// candidate may be and still compete for load balancing. Tree paths run
+// up to the hop cap (11 on a diameter-3 graph), so an unbounded
+// occupancy contest leaks packets onto near-worst-case routes whenever
+// the minimal queue bursts — and a handful of leaked packets saturates
+// the shared tree root long before the minimal lane is actually out of
+// capacity. When the base lane is unroutable the bound does not apply:
+// any live tree path beats dropping the packet.
+const sprayStretch = 2
+
+// PathLane implements lanedRouting: the base path is always built first
+// (fixing the RNG consumption regardless of lane health, with the
+// repaired degraded-graph table standing in when the primary's path is
+// dead), then each live tree lane competes on occupancy score.
+func (m *MultiPathRouting) PathLane(buf []int, src, dst int, occ OccFn, rng *rand.Rand) ([]int, int8) {
+	best := m.Base.Path(m.bufA[:0], src, dst, occ, rng)
+	m.bufA = best
+	if len(best) == 0 && m.repairPath != nil {
+		best = m.repairPath(m.bufA[:0], src, dst, rng)
+		m.bufA = best
+	}
+	lane := int8(0)
+	bestScore := m.score(best, occ)
+	haveBest := len(best) > 0
+	// spill mode: the base lane is routable, so tree candidates are
+	// optional load-balancing spills and the stretch bound applies.
+	// Survival mode (base unroutable): any live tree path competes.
+	spill := haveBest
+	hopCap := len(best) - 1 + sprayStretch
+	for l := 0; l < m.MP.TreeLanes(); l++ {
+		if m.health != nil && !m.health.up[l] {
+			continue
+		}
+		cand := m.MP.AppendTreePath(m.bufB[:0], l, src, dst, func(u, v int) bool {
+			return m.Live == nil || m.Live(u, v)
+		})
+		m.bufB = cand
+		if len(cand) == 0 {
+			continue // lane skips this pair (hop bound or dead tree edge)
+		}
+		if spill && len(cand)-1 > hopCap {
+			continue // too much stretch to be a load-balancing spill
+		}
+		if sc := m.score(cand, occ); !haveBest || sc < bestScore {
+			best, bestScore, lane, haveBest = cand, sc, int8(l+1), true
+			m.bufA, m.bufB = m.bufB, m.bufA
+		}
+	}
+	if !spill && m.escapePath != nil {
+		cand := m.escapePath(m.bufB[:0], src, dst)
+		m.bufB = cand
+		if n := len(cand); n > 0 && n <= MaxPathNodes {
+			if sc := m.score(cand, occ); !haveBest || sc < bestScore {
+				best, lane, haveBest = cand, 0, true
+				m.bufA, m.bufB = m.bufB, m.bufA
+			}
+		}
+	}
+	if !haveBest {
+		return buf, 0 // unroutable everywhere: the fault fallbacks take over
+	}
+	return append(buf, best...), lane
+}
+
+// score mirrors UGAL-L: (first-hop queue + one packet) × hop count.
+func (m *MultiPathRouting) score(path []int, occ OccFn) int {
+	if len(path) < 2 {
+		return 0
+	}
+	return (occ(path[0], path[1]) + m.PktSize) * (len(path) - 1)
+}
+
+// LaneWidths implements lanedRouting.
+func (m *MultiPathRouting) LaneWidths() []int {
+	w := make([]int, 1+m.MP.TreeLanes())
+	w[0] = m.Base.MaxHops() + 1
+	for l := 0; l < m.MP.TreeLanes(); l++ {
+		w[l+1] = m.MP.LaneMaxHops(l) + 1
+	}
+	return w
+}
+
+// MaxHops implements Routing: the longest path any lane can return.
+func (m *MultiPathRouting) MaxHops() int {
+	h := m.Base.MaxHops()
+	for l := 0; l < m.MP.TreeLanes(); l++ {
+		if lh := m.MP.LaneMaxHops(l); lh > h {
+			h = lh
+		}
+	}
+	return h
+}
+
+// Clone implements Routing: fresh scratch, own base clone, shared
+// read-only tree structure.
+func (m *MultiPathRouting) Clone() Routing {
+	c := *m
+	c.Base = m.Base.Clone()
+	c.bufA, c.bufB = nil, nil
+	return &c
+}
+
+// setLive installs liveness, lane health, and the repaired-base-path
+// source on the adapter and its base engine; the fault machinery calls
+// it on every shard clone.
+func (m *MultiPathRouting) setLive(live LiveFn, health *laneHealth, repairPath func([]int, int, int, *rand.Rand) []int, escapePath func([]int, int, int) []int) {
+	m.Live = live
+	m.health = health
+	m.repairPath = repairPath
+	m.escapePath = escapePath
+	switch b := m.Base.(type) {
+	case Min:
+		b.Live = live
+		m.Base = b
+	case *UGAL:
+		b.Live = live
+	}
+}

@@ -22,6 +22,12 @@ const (
 	// UGALGMode is the idealized global-information UGAL-G variant
 	// (ablation only).
 	UGALGMode
+	// MPMINMode is multipath routing over MIN: the minimal-path lane
+	// plus Params.Lanes spanning-tree lanes with occupancy-aware spray
+	// and live-fault lane failover.
+	MPMINMode
+	// MPUGALMode is multipath routing over UGAL-L.
+	MPUGALMode
 )
 
 func (m RoutingMode) String() string {
@@ -30,6 +36,10 @@ func (m RoutingMode) String() string {
 		return "UGAL"
 	case UGALGMode:
 		return "UGAL-G"
+	case MPMINMode:
+		return "MP-MIN"
+	case MPUGALMode:
+		return "MP-UGAL"
 	}
 	return "MIN"
 }
@@ -177,6 +187,16 @@ func RunPoint(ctx context.Context, spec *Spec, mode RoutingMode, patternName str
 		routing = spec.UGALRouting(params.PacketFlits)
 	case UGALGMode:
 		routing = spec.UGALGRouting(params.PacketFlits)
+	case MPMINMode, MPUGALMode:
+		base := spec.MinRouting()
+		if mode == MPUGALMode {
+			base = spec.UGALRouting(params.PacketFlits)
+		}
+		mp, err := spec.MultiPathRouting(base, params.Lanes, params.PacketFlits)
+		if err != nil {
+			return Result{}, err
+		}
+		routing = mp
 	default:
 		routing = spec.MinRouting()
 	}

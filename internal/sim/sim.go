@@ -97,6 +97,20 @@ type Params struct {
 	// Retry bounds the source-retry behavior under Plan; the zero value
 	// selects DefaultRetryPolicy. Ignored without an active plan.
 	Retry RetryPolicy
+
+	// Lanes is the spanning-tree lane count of the multipath routing
+	// modes (MPMINMode/MPUGALMode): 0 selects the default of 3, and the
+	// extractor may find fewer on sparse topologies. Ignored by the
+	// single-table modes.
+	Lanes int
+	// RepairDelay models route recomputation under Plan as a convergence
+	// window: after any applied fault event, the repaired all-pairs table
+	// is unusable for this many cycles and dead-path traffic falls back
+	// to escape paths and source retries — the global stall a single
+	// routing table pays on every topology change. 0 (the default) keeps
+	// repair instantaneous, preserving pre-existing results exactly.
+	// Ignored without an active plan.
+	RepairDelay int64
 }
 
 // DefaultParams mirrors the §9.4 configuration.
@@ -165,6 +179,16 @@ type Engine struct {
 	cfg     traffic.Config
 	vcs     int
 	workers int
+
+	// Lane → VC band mapping. With a plain Routing engine laneCount is 1
+	// and the single band spans the whole ladder, making the band-clamped
+	// VC arithmetic in tryForward bit-identical to the classic bounds.
+	// With a lanedRouting engine each lane owns a disjoint band: paths
+	// never leave their lane, so every band is an independent acyclic VC
+	// ladder and the composite stays deadlock-free (DESIGN.md §13).
+	laneCount int
+	laneBase  []int32 // lane -> first VC of its band
+	laneEnd   []int32 // lane -> one past the last VC of its band
 
 	// pkts is the structure-of-arrays packet slab; every queue and mail
 	// ring below holds int32 ids into it. See store.go for the id
@@ -299,6 +323,7 @@ type shardState struct {
 	mailIn  int64
 
 	routing Routing
+	laned   lanedRouting // routing when it spreads packets over VC lanes, else nil
 	rngSrc  splitmix
 	rng     *rand.Rand
 	pathBuf []int
@@ -337,6 +362,12 @@ type shardMetrics struct {
 	stallCredit int64
 	creditVC    []int64 // credit stalls keyed by the packet's lowest eligible VC
 	lat         obs.Histogram
+
+	// Per-lane counters, sized laneCount (nil on single-lane engines):
+	// index 0 is the minimal band, 1.. the tree lanes.
+	laneChosen    []int64
+	laneDelivered []int64
+	laneFailover  []int64 // in-flight reroutes ONTO the lane
 }
 
 func (m *shardMetrics) stalls() int64 {
@@ -374,10 +405,38 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 		e.vcs = 1
 	}
 	planActive := !params.Plan.Empty()
-	if planActive && e.vcs < MaxPathNodes {
-		// Detour paths (repaired-table or spanning-tree escape) may use up
-		// to MaxPathNodes-1 links; the VC ladder must cover them.
-		e.vcs = MaxPathNodes
+	if lr, ok := routing.(lanedRouting); ok {
+		// Multipath lanes: one disjoint VC band per lane, ladder = the
+		// concatenation. Band 0 (the minimal engine) keeps the classic
+		// width, bumped for detours exactly as the single-lane ladder is.
+		widths := lr.LaneWidths()
+		if widths[0] < 1 {
+			widths[0] = 1
+		}
+		if planActive && widths[0] < MaxPathNodes {
+			widths[0] = MaxPathNodes // detour paths ride the base band
+		}
+		e.laneCount = len(widths)
+		e.laneBase = make([]int32, e.laneCount)
+		e.laneEnd = make([]int32, e.laneCount)
+		e.vcs = 0
+		for l, w := range widths {
+			e.laneBase[l] = int32(e.vcs)
+			e.vcs += w
+			e.laneEnd[l] = int32(e.vcs)
+		}
+		if e.vcs > 126 {
+			panic(fmt.Sprintf("sim: %d lane VCs overflow the int8 VC ladder (max 126); use fewer or shallower lanes", e.vcs))
+		}
+	} else {
+		if planActive && e.vcs < MaxPathNodes {
+			// Detour paths (repaired-table or spanning-tree escape) may use
+			// up to MaxPathNodes-1 links; the VC ladder must cover them.
+			e.vcs = MaxPathNodes
+		}
+		e.laneCount = 1
+		e.laneBase = []int32{0}
+		e.laneEnd = []int32{int32(e.vcs)}
 	}
 	e.workers = params.Workers
 	if e.workers < 1 {
@@ -428,6 +487,9 @@ func NewEngine(params Params, g *graph.Graph, cfg traffic.Config, routing Routin
 	e.mail = make([][]inflight, numShards*numShards*e.ringLen)
 	for s := 0; s < numShards; s++ {
 		sh := &shardState{routing: routing.Clone()}
+		if lr, ok := sh.routing.(lanedRouting); ok {
+			sh.laned = lr
+		}
 		sh.rng = rand.New(&sh.rngSrc)
 		sh.occFn = e.Occupancy
 		e.shards[s] = sh
@@ -541,6 +603,11 @@ func (e *Engine) initMetrics(params Params) {
 	e.occHWM = m.OccHWM
 	for _, sh := range e.shards {
 		sh.met = &shardMetrics{creditVC: make([]int64, e.vcs)}
+		if e.laneCount > 1 {
+			sh.met.laneChosen = make([]int64, e.laneCount)
+			sh.met.laneDelivered = make([]int64, e.laneCount)
+			sh.met.laneFailover = make([]int64, e.laneCount)
+		}
 	}
 	if params.MetricsInterval > 0 {
 		e.metInterval = int64(params.MetricsInterval)
@@ -867,9 +934,14 @@ func (e *Engine) routeShard(sh *shardState) {
 	for _, pi := range sh.pending {
 		srcR, dstR := e.cfg.RouterOf(int(pi.ep)), e.cfg.RouterOf(int(pi.dst))
 		var path []int
+		var lane int8
 		if srcR != dstR {
 			sh.rngSrc.seed(e.p.Seed, pi.ctr)
-			sh.pathBuf = sh.routing.Path(sh.pathBuf[:0], srcR, dstR, sh.occFn, sh.rng)
+			if sh.laned != nil {
+				sh.pathBuf, lane = sh.laned.PathLane(sh.pathBuf[:0], srcR, dstR, sh.occFn, sh.rng)
+			} else {
+				sh.pathBuf = sh.routing.Path(sh.pathBuf[:0], srcR, dstR, sh.occFn, sh.rng)
+			}
 			path = sh.pathBuf
 			if e.fs != nil {
 				// Fault mode: validate the path against current liveness,
@@ -913,12 +985,16 @@ func (e *Engine) routeShard(sh *shardState) {
 		st.dstEP[id] = pi.dst
 		st.srcEP[id] = pi.ep
 		st.retries[id] = pi.retries
+		st.lane[id] = lane
 		st.measure[id] = pi.gen >= int64(e.p.Warmup) && pi.gen < int64(e.p.Warmup+e.p.Measure)
 		unit := e.injUnit[pi.ep]
 		e.queues[unit].push(id)
 		e.markActive(unit, sh)
 		if sh.met != nil {
 			sh.met.injected++
+			if sh.met.laneChosen != nil {
+				sh.met.laneChosen[lane]++
+			}
 		}
 	}
 	sh.pending = sh.pending[:0]
@@ -1057,6 +1133,9 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 		}
 		e.ejBusy[ep] = e.now + S
 		sh.deliver(st, id, e.now+S, e.p.PacketFlits)
+		if sh.met != nil && sh.met.laneDelivered != nil {
+			sh.met.laneDelivered[st.lane[id]]++
+		}
 		e.release(sh, unit)
 		sh.freed = append(sh.freed, id)
 		e.wake[unit] = e.now + 1
@@ -1065,10 +1144,18 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 	}
 	c := st.chans[int(id)*pktStride+int(hop)]
 	if e.fs != nil && e.fs.deadChan[c] {
-		// The next link of the packet's path is down: the packet is
-		// dropped from this buffer (credit released at commit, preserving
-		// the reclaim invariant) and source-retried — the retry re-routes
-		// around the failure.
+		// The next link of the packet's path is down. A multipath packet
+		// first tries a lane failover: re-route in place from this router
+		// onto a live tree lane with a strictly higher index (its VC band
+		// sits strictly above every VC the packet can currently occupy,
+		// so the global VC-monotonicity invariant survives the reroute).
+		if e.laneCount > 1 && e.fs.laneFailover(sh, id, unit) {
+			return // forwards on the new lane from the next cycle
+		}
+		// No live higher lane offers a path: the packet is dropped from
+		// this buffer (credit released at commit, preserving the reclaim
+		// invariant) and source-retried — the retry re-routes around the
+		// failure.
 		e.fs.retryFrom(sh, id)
 		e.release(sh, unit)
 		sh.freed = append(sh.freed, id)
@@ -1088,11 +1175,18 @@ func (e *Engine) tryForward(sh *shardState, sid int, unit int32, q *pktQueue, S 
 	// dependency graph stays acyclic — while still letting packets
 	// spread over the free VCs to reduce head-of-line blocking.
 	// Pick the eligible VC with the most free credits.
+	// The eligible window is clamped to the packet's lane band: with a
+	// single lane the band is the whole ladder and the bounds reduce to
+	// the classic minVC..vcs-1-remaining.
 	minVC := int(e.unitMinVC[unit])
+	lane := st.lane[id]
+	if base := int(e.laneBase[lane]); minVC < base {
+		minVC = base
+	}
 	// Leave VC headroom for the links after this one: choosing too
 	// high a VC now would strand the packet later.
 	remaining := int(nHops) - 1 - int(hop)
-	maxVC := e.vcs - 1 - remaining
+	maxVC := int(e.laneEnd[lane]) - 1 - remaining
 	if minVC > maxVC {
 		panic("sim: path longer than VC count")
 	}
@@ -1257,6 +1351,26 @@ func (e *Engine) finishMetrics(res Result) {
 	m.Throughput = res.Throughput
 	m.DeliveredFrac = res.DeliveredFrac
 	m.Saturated = res.Saturated
+	if e.laneCount > 1 {
+		lanes := &obs.SimLanes{
+			Lanes:     e.laneCount - 1,
+			Chosen:    make([]int64, e.laneCount),
+			Delivered: make([]int64, e.laneCount),
+			Failovers: make([]int64, e.laneCount),
+		}
+		for _, sh := range e.shards {
+			for l := 0; l < e.laneCount; l++ {
+				lanes.Chosen[l] += sh.met.laneChosen[l]
+				lanes.Delivered[l] += sh.met.laneDelivered[l]
+				lanes.Failovers[l] += sh.met.laneFailover[l]
+			}
+		}
+		if fs := e.fs; fs != nil && fs.health != nil {
+			lanes.Demoted = fs.health.demoted
+			lanes.Promoted = fs.health.promoted
+		}
+		m.Lanes = lanes
+	}
 	if fs := e.fs; fs != nil {
 		m.Faults = &obs.SimFaults{
 			PlanEvents:      int64(len(fs.plan.Events)),

@@ -64,6 +64,28 @@ func (s *Spec) UGALGRouting(pktFlits int) Routing {
 	return u
 }
 
+// laneTreeSeed fixes the spanning-tree extraction seed: the lane
+// structure is a function of the topology alone, identical across load
+// points and sweeps (Params.Seed varies per point, and lanes that shift
+// with it would make curves incomparable).
+const laneTreeSeed = 1
+
+// MultiPathRouting returns the k-lane multipath adapter: base (MIN or
+// UGAL) as lane 0 plus `lanes` edge-disjoint spanning-tree lanes (0
+// selects the default of 3; the extractor may find fewer on sparse
+// topologies). Tree paths are capped at the engine's packet path stride
+// so every lane path fits the slab.
+func (s *Spec) MultiPathRouting(base Routing, lanes, pktFlits int) (Routing, error) {
+	if lanes == 0 {
+		lanes = 3
+	}
+	mp, err := route.NewMultiPath(s.Graph, s.MinEngine, lanes, pktStride, laneTreeSeed)
+	if err != nil {
+		return nil, fmt.Errorf("sim: spec %s: %w", s.Name, err)
+	}
+	return &MultiPathRouting{Base: base, MP: mp, PktSize: pktFlits}, nil
+}
+
 // Table3Names lists the §9.1 simulated configurations.
 var Table3Names = []string{"ps-iq", "ps-pal", "bf", "hx", "df", "sf", "mf", "ft"}
 
@@ -75,6 +97,9 @@ var specRegistry = map[string]func(name string) (*Spec, error){
 	// 1064 routers, radix 15, p=5
 	"ps-iq":       func(n string) (*Spec, error) { return polarStarSpec(n, 11, 3, topo.KindIQ, 5) },
 	"ps-iq-small": func(n string) (*Spec, error) { return polarStarSpec(n, 5, 4, topo.KindIQ, 3) },
+	// PSIQ(4,3): 168 routers, radix 8 — the resilience-sweep testbed
+	// (small enough for dense fault plans, rich enough for 3 EDST lanes)
+	"ps-iq-43": func(n string) (*Spec, error) { return polarStarSpec(n, 4, 3, topo.KindIQ, 3) },
 	// PSIQ(23,11): 13272 routers, radix 35 — the §7 "largest diameter-3
 	// network" point, beyond the paper's simulations
 	"ps-iq-large": func(n string) (*Spec, error) { return polarStarSpec(n, 23, 11, topo.KindIQ, 11) },
@@ -161,7 +186,7 @@ func (s *Spec) Degraded(removed [][2]int) *Spec {
 // distance table on every trial.
 func (s *Spec) DegradedInto(removed [][2]int, slab []uint8) *Spec {
 	g := s.Graph.RemoveEdges(removed)
-	tab := route.NewTableInto(g, route.MultiPath, slab)
+	tab := route.NewTableInto(g, route.AllMinPaths, slab)
 	// The exact path-length bound of the degraded network: its largest
 	// component's diameter (link failures stretch paths well beyond the
 	// intact diameter, and a guessed bound either wastes VCs or panics
@@ -220,7 +245,7 @@ func bundleflySpec(name string, q, dPrime, p int) (*Spec, error) {
 		PerRouter: p,
 		NumGroups: bf.NumGroups(),
 		GroupOf:   bf.GroupOf,
-		MinEngine: route.NewTable(bf.G, route.MultiPath),
+		MinEngine: route.NewTable(bf.G, route.AllMinPaths),
 		MinHops:   3,
 	}, nil
 }
@@ -270,7 +295,7 @@ func lpsSpec(name string, pp, q, p int) (*Spec, error) {
 		PerRouter: p,
 		NumGroups: l.G.N(),
 		GroupOf:   func(v int) int { return v },
-		MinEngine: route.NewTable(l.G, route.MultiPath),
+		MinEngine: route.NewTable(l.G, route.AllMinPaths),
 		MinHops:   d,
 	}, nil
 }
@@ -309,7 +334,7 @@ func polarFlySpec(name string, q, p int) (*Spec, error) {
 		PerRouter: p,
 		NumGroups: er.N(),
 		GroupOf:   func(v int) int { return v },
-		MinEngine: route.NewTable(er.G, route.MultiPath),
+		MinEngine: route.NewTable(er.G, route.AllMinPaths),
 		MinHops:   2,
 	}, nil
 }
@@ -328,7 +353,7 @@ func slimFlySpec(name string, q, p int) (*Spec, error) {
 		PerRouter: p,
 		NumGroups: mms.N(),
 		GroupOf:   func(v int) int { return v },
-		MinEngine: route.NewTable(mms.G, route.MultiPath),
+		MinEngine: route.NewTable(mms.G, route.AllMinPaths),
 		MinHops:   2,
 	}, nil
 }

@@ -173,7 +173,7 @@ func TestBundleflySingleVsMultiMinpath(t *testing.T) {
 		return res.Points[0].AvgLatency
 	}
 	single := lat(mk(route.NewBundlefly(bf), "bf-single"))
-	multi := lat(mk(route.NewTable(bf.G, route.MultiPath), "bf-multi"))
+	multi := lat(mk(route.NewTable(bf.G, route.AllMinPaths), "bf-multi"))
 	if multi >= single {
 		t.Errorf("multipath latency %.1f not below single-minpath %.1f", multi, single)
 	}

@@ -39,6 +39,7 @@ type pktStore struct {
 	dstEP   []int32 // destination endpoint
 	srcEP   []int32 // source endpoint: the re-injection point under faults
 	retries []uint8 // source retries already consumed (faults only)
+	lane    []int8  // routing lane: 0 = minimal band, 1.. = tree lanes (multipath only)
 	measure []bool  // generated inside the measurement window
 
 	// free is the global id stack. Serial sections only: refillIDs pops,
@@ -67,6 +68,7 @@ func (st *pktStore) grow(n int) {
 	st.dstEP = append(st.dstEP, make([]int32, n)...)
 	st.srcEP = append(st.srcEP, make([]int32, n)...)
 	st.retries = append(st.retries, make([]uint8, n)...)
+	st.lane = append(st.lane, make([]int8, n)...)
 	st.measure = append(st.measure, make([]bool, n)...)
 	free := make([]int32, len(st.free), st.cap())
 	copy(free, st.free)

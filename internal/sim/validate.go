@@ -35,6 +35,12 @@ func (p Params) Validate(cfg traffic.Config) error {
 		return fmt.Errorf("sim: %d endpoints overflow the generation calendar's %d-bit endpoint field (max %d)",
 			eps, epBits, maxEndpoint-1)
 	}
+	if p.Lanes < 0 || p.Lanes > 8 {
+		return fmt.Errorf("sim: Lanes must be in [0, 8] (0: default), got %d", p.Lanes)
+	}
+	if p.RepairDelay < 0 {
+		return fmt.Errorf("sim: RepairDelay must be >= 0 (0: instant repair), got %d", p.RepairDelay)
+	}
 	return nil
 }
 

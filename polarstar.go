@@ -219,7 +219,7 @@ func NewBundleflyRouter(bf *Bundlefly) Router { return route.NewBundlefly(bf) }
 func NewTableRouter(g *Graph, multipath bool) Router {
 	mode := route.SinglePath
 	if multipath {
-		mode = route.MultiPath
+		mode = route.AllMinPaths
 	}
 	return route.NewTable(g, mode)
 }
@@ -314,6 +314,15 @@ const (
 	MINRouting = sim.MIN
 	// UGALRouting selects load-balancing adaptive routing.
 	UGALRouting = sim.UGALMode
+	// UGALGRouting selects the idealized global-information UGAL
+	// variant (ablation only).
+	UGALGRouting = sim.UGALGMode
+	// MPMINRouting selects multipath routing over MIN: the minimal-path
+	// lane plus SimParams.Lanes edge-disjoint spanning-tree lanes with
+	// occupancy-aware spray and live-fault lane failover.
+	MPMINRouting = sim.MPMINMode
+	// MPUGALRouting selects multipath routing over UGAL-L.
+	MPUGALRouting = sim.MPUGALMode
 )
 
 // ---------------------------------------------------------------------
@@ -372,6 +381,24 @@ type FaultTrafficPoint = faults.TrafficPoint
 // topologies (the dynamic complement of the structural §11.2 sweep).
 var FaultTrafficSweep = faults.TrafficSweep
 
+// ResilienceConfig parameterizes a live-fault resilience sweep: failure
+// counts, the MTBF/MTTR schedule, the repair-stall model and the
+// targeted-lane kill pool.
+type ResilienceConfig = faults.ResilienceConfig
+
+// ResilienceCurve is one routing mode's throughput-vs-failure-count
+// curve from ResilienceSweep.
+type ResilienceCurve = faults.ResilienceCurve
+
+// ResiliencePoint is one (mode, failure count) simulation of a
+// ResilienceCurve.
+type ResiliencePoint = faults.ResiliencePoint
+
+// ResilienceSweep compares routing modes (MultiPath lanes vs MIN vs
+// UGAL) under identical scripted live-fault plans, quantifying how much
+// throughput each sustains as the failure count grows.
+var ResilienceSweep = faults.ResilienceSweep
+
 // LiveFaultPlan scripts link/router failures (and repairs) that the
 // cycle-level simulator injects mid-run; assign one to SimParams.Plan.
 type LiveFaultPlan = faults.Plan
@@ -411,6 +438,24 @@ type SpanningTree = route.SpanningTree
 // trees (the Dawkins et al. companion-work construction for in-network
 // allreduce).
 var EdgeDisjointSpanningTrees = route.EdgeDisjointSpanningTrees
+
+// MultiPath composes a minimal-path engine with k edge-disjoint
+// spanning-tree lanes: load-balanced parallel paths in a healthy
+// network, independent failover lanes under faults (DESIGN.md §13).
+type MultiPath = route.MultiPath
+
+// NewMultiPath extracts up to `lanes` edge-disjoint tree lanes over g
+// around the given minimal engine; hopCap bounds tree-path length in
+// nodes (0: uncapped).
+var NewMultiPath = route.NewMultiPath
+
+// TreeEscape routes over edge-disjoint spanning trees as a last-resort
+// escape path for live-fault recovery.
+type TreeEscape = route.TreeEscape
+
+// NewTreeEscape extracts up to maxTrees edge-disjoint spanning trees
+// over g for escape routing.
+var NewTreeEscape = route.NewTreeEscape
 
 // Collective-algorithm variants on the flow-level simulator.
 var (
